@@ -1,0 +1,155 @@
+// Command dagpart is a stand-alone interface to the multilevel graph
+// partitioner (the SCOTCH substitute): it builds a benchmark's task
+// dependency graph (or reads one from JSON), partitions or maps it, prints
+// cut/balance statistics, and can export a colored DOT rendering.
+//
+// Usage:
+//
+//	dagpart -app qr -scale tiny -parts 8
+//	dagpart -in graph.json -parts 4 -imbalance 0.03
+//	dagpart -app jacobi -map -dot jacobi.dot      # map onto the bullion
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"numadag/internal/apps"
+	"numadag/internal/graph"
+	"numadag/internal/machine"
+	"numadag/internal/partition"
+	"numadag/internal/rt"
+	"numadag/internal/sim"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "", "build the TDG of this benchmark")
+		scale     = flag.String("scale", "tiny", "problem scale for -app")
+		inFile    = flag.String("in", "", "read a DAG from this JSON file instead of -app")
+		parts     = flag.Int("parts", 8, "number of parts")
+		imbalance = flag.Float64("imbalance", 0.05, "tolerated imbalance")
+		seed      = flag.Uint64("seed", 1, "partitioner seed")
+		useMap    = flag.Bool("map", false, "map onto the bullion architecture instead of plain k-way")
+		noRefine  = flag.Bool("norefine", false, "disable FM refinement")
+		dotOut    = flag.String("dot", "", "write colored DOT to this file")
+		jsonOut   = flag.String("json", "", "write the DAG as JSON to this file")
+	)
+	flag.Parse()
+
+	dag, err := loadDAG(*appName, *scale, *inFile)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges, total node weight %d, total edge weight %d\n",
+		dag.Len(), dag.Edges(), dag.TotalNodeWeight(), dag.TotalEdgeWeight())
+	if prof, err := dag.ComputeProfile(); err == nil {
+		fmt.Printf("profile: %s\n", prof)
+	}
+
+	pg := partition.FromDAG(dag)
+	opt := partition.DefaultOptions(*parts)
+	opt.Imbalance = *imbalance
+	opt.Seed = *seed
+	opt.NoRefine = *noRefine
+
+	var (
+		part []int32
+		st   partition.Stats
+	)
+	if *useMap {
+		arch := archFrom(machine.BullionS16())
+		part, st, err = partition.MapOnto(pg, arch, opt)
+		if err == nil {
+			fmt.Printf("mapping onto bullion: comm cost %d\n", partition.CommCost(pg, part, arch.Dist))
+		}
+	} else {
+		part, st, err = partition.Partition(pg, opt)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("parts=%d cut=%d imbalance=%.4f\n", *parts, st.EdgeCut, st.Imbalance)
+	weights := partition.PartWeights(pg, part, *parts)
+	fmt.Printf("part weights: %v\n", weights)
+
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dag.DOT(f, "tdg", part); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("DOT written to %s\n", *dotOut)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(dag, "", " ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("JSON written to %s\n", *jsonOut)
+	}
+}
+
+// loadDAG builds from a benchmark or reads from a file.
+func loadDAG(appName, scale, inFile string) (*graph.DAG, error) {
+	switch {
+	case inFile != "":
+		data, err := os.ReadFile(inFile)
+		if err != nil {
+			return nil, err
+		}
+		var d graph.DAG
+		if err := json.Unmarshal(data, &d); err != nil {
+			return nil, err
+		}
+		return &d, nil
+	case appName != "":
+		sc, err := apps.ParseScale(scale)
+		if err != nil {
+			return nil, err
+		}
+		app, err := apps.ByName(appName, sc)
+		if err != nil {
+			return nil, err
+		}
+		m := machine.New(machine.BullionS16(), sim.NewEngine())
+		r := rt.NewRuntime(m, nopPolicy{}, rt.Options{})
+		app.Build(r)
+		return r.Graph(), nil
+	default:
+		return nil, fmt.Errorf("need -app or -in")
+	}
+}
+
+type nopPolicy struct{}
+
+func (nopPolicy) Name() string                         { return "nop" }
+func (nopPolicy) PickSocket(*rt.Runtime, *rt.Task) int { return 0 }
+
+func archFrom(cfg machine.Config) *partition.Arch {
+	m := machine.New(cfg, sim.NewEngine())
+	n := cfg.Sockets
+	d := make([][]int, n)
+	for i := range d {
+		d[i] = make([]int, n)
+		for j := range d[i] {
+			d[i][j] = m.Hops(i, j)
+		}
+	}
+	return &partition.Arch{Dist: d}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dagpart:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command rgpsim runs one benchmark under one scheduling policy on the
+// simulated NUMA machine and reports the run's statistics, optionally
+// dumping an execution trace.
+//
+// Usage:
+//
+//	rgpsim -app jacobi -policy RGP+LAS -scale paper
+//	rgpsim -app nstream -policy LAS -machine 2socket -gantt
+//	rgpsim -app qr -policy EP -trace qr.json   # chrome://tracing format
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"numadag/internal/apps"
+	"numadag/internal/core"
+	"numadag/internal/machine"
+	"numadag/internal/rt"
+	"numadag/internal/trace"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "jacobi", "benchmark: "+strings.Join(apps.Names(), ", "))
+		polName  = flag.String("policy", "RGP+LAS", "policy: DFIFO, LAS, EP, RGP+LAS, RGP, Random")
+		scale    = flag.String("scale", "small", "problem scale: tiny, small, paper")
+		machName = flag.String("machine", "bullion", "machine: bullion, 2socket, 4socket, uniform")
+		window   = flag.Int("window", rt.DefaultOptions().WindowSize, "window size limit (tasks)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		noSteal  = flag.Bool("nosteal", false, "disable cross-socket work stealing")
+		traceOut = flag.String("trace", "", "write Chrome trace JSON to this file")
+		gantt    = flag.Bool("gantt", false, "print a per-core text Gantt chart")
+	)
+	flag.Parse()
+
+	sc, err := apps.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	mach, err := machineByName(*machName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{
+		App:     *appName,
+		Scale:   sc,
+		Policy:  *polName,
+		Machine: mach,
+		Runtime: rt.DefaultOptions(),
+	}
+	cfg.Runtime.WindowSize = *window
+	cfg.Runtime.Seed = *seed
+	cfg.Runtime.Steal = !*noSteal
+
+	var rec *trace.Recorder
+	if *traceOut != "" || *gantt {
+		rec = trace.NewRecorder()
+		cfg.Runtime.Observer = rec
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("app=%s policy=%s scale=%s machine=%s window=%d seed=%d\n",
+		*appName, *polName, sc, mach.Name, *window, *seed)
+	fmt.Printf("  %s\n", res.Stats.Summary())
+	fmt.Printf("  socket task counts: %v\n", res.Stats.SocketTasks)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  trace written to %s (open in chrome://tracing)\n", *traceOut)
+	}
+	if *gantt {
+		if err := rec.WriteGantt(os.Stdout, mach.TotalCores(), 100); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func machineByName(name string) (machine.Config, error) {
+	switch name {
+	case "bullion":
+		return machine.BullionS16(), nil
+	case "2socket":
+		return machine.TwoSocketXeon(), nil
+	case "4socket":
+		return machine.FourSocket(), nil
+	case "uniform":
+		return machine.Uniform(8, 4), nil
+	default:
+		return machine.Config{}, fmt.Errorf("unknown machine %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rgpsim:", err)
+	os.Exit(1)
+}

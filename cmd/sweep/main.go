@@ -1,0 +1,226 @@
+// Command sweep runs the ablation experiments documented in DESIGN.md:
+//
+//	-exp window      (A1) window-size sensitivity of RGP+LAS
+//	-exp partitioner (A2) partitioner quality: full multilevel vs ablated
+//	-exp sockets     (A3) socket-count scaling (2/4/8 sockets)
+//	-exp propagation (A4) RGP propagation: RGP+LAS vs pure RGP vs LAS
+//
+// Usage:
+//
+//	sweep -exp window -scale small
+//	sweep -exp sockets -apps jacobi,nstream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"numadag/internal/apps"
+	"numadag/internal/core"
+	"numadag/internal/machine"
+	"numadag/internal/metrics"
+	"numadag/internal/rt"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "window", "experiment: window, partitioner, sockets, propagation")
+		scale    = flag.String("scale", "small", "problem scale")
+		appsFlag = flag.String("apps", "", "comma-separated app subset (default depends on experiment)")
+		seeds    = flag.Int("seeds", 2, "seeds averaged per cell")
+	)
+	flag.Parse()
+
+	sc, err := apps.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	var appList []string
+	if *appsFlag != "" {
+		appList = strings.Split(*appsFlag, ",")
+	}
+	switch *exp {
+	case "window":
+		err = windowSweep(sc, appList, *seeds)
+	case "partitioner":
+		err = partitionerSweep(sc, appList, *seeds)
+	case "sockets":
+		err = socketSweep(sc, appList, *seeds)
+	case "propagation":
+		err = propagationSweep(sc, appList, *seeds)
+	default:
+		err = fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// averaged runs a config over seeds and returns the mean makespan (ns).
+func averaged(cfg core.Config, seeds int) (float64, error) {
+	sum := 0.0
+	for s := 0; s < seeds; s++ {
+		cfg.Runtime.Seed = 1 + uint64(1000*s)
+		res, err := core.Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		sum += float64(res.Stats.Makespan)
+	}
+	return sum / float64(seeds), nil
+}
+
+// windowSweep (A1): RGP+LAS makespan, normalized to the best, as the window
+// size grows from 64 to 8192.
+func windowSweep(sc apps.Scale, appList []string, seeds int) error {
+	if appList == nil {
+		appList = []string{"jacobi", "qr"}
+	}
+	windows := []int{64, 256, 1024, 2048, 8192}
+	cols := make([]string, len(windows))
+	for i, w := range windows {
+		cols[i] = fmt.Sprintf("w=%d", w)
+	}
+	tb := metrics.NewTable("A1: RGP+LAS makespan vs window size (normalized to best)", cols...)
+	for _, app := range appList {
+		vals := make([]float64, len(windows))
+		best := 0.0
+		for i, w := range windows {
+			cfg := core.DefaultConfig(app, "RGP+LAS", sc)
+			cfg.Runtime.WindowSize = w
+			v, err := averaged(cfg, seeds)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+			if best == 0 || v < best {
+				best = v
+			}
+		}
+		for i := range windows {
+			tb.Set(app, cols[i], vals[i]/best)
+		}
+	}
+	return tb.Write(os.Stdout)
+}
+
+// partitionerSweep (A2): edge cut of the window-0 TDG under partitioner
+// ablations, normalized to the full multilevel pipeline.
+func partitionerSweep(sc apps.Scale, appList []string, seeds int) error {
+	if appList == nil {
+		appList = apps.Names()
+	}
+	variants := []string{"full", "random-match", "no-refine", "cyclic"}
+	tb := metrics.NewTable("A2: RGP+LAS makespan by partitioner variant (normalized to full)", variants...)
+	for _, app := range appList {
+		base := 0.0
+		for _, variant := range variants {
+			cfg := core.DefaultConfig(app, "RGP+LAS", sc)
+			cfg.Policy = "RGP+LAS"
+			v, err := averagedVariant(cfg, variant, seeds)
+			if err != nil {
+				return err
+			}
+			if variant == "full" {
+				base = v
+			}
+			tb.Set(app, variant, v/base)
+		}
+	}
+	return tb.Write(os.Stdout)
+}
+
+// averagedVariant runs RGP+LAS with an ablated partitioner.
+func averagedVariant(cfg core.Config, variant string, seeds int) (float64, error) {
+	sum := 0.0
+	for s := 0; s < seeds; s++ {
+		pol, err := rgpVariant(variant, cfg.Machine.Sockets)
+		if err != nil {
+			return 0, err
+		}
+		app, err := apps.ByName(cfg.App, cfg.Scale)
+		if err != nil {
+			return 0, err
+		}
+		opts := cfg.Runtime
+		opts.Seed = 1 + uint64(1000*s)
+		r := rt.NewRuntime(machineFor(cfg), pol, opts)
+		app.Build(r)
+		sum += float64(r.Run().Makespan)
+	}
+	return sum / float64(seeds), nil
+}
+
+func machineFor(cfg core.Config) *machine.Machine {
+	return machine.New(cfg.Machine, newEngine())
+}
+
+// socketSweep (A3): LAS-relative speedup of RGP+LAS on 2-, 4- and 8-socket
+// machines.
+func socketSweep(sc apps.Scale, appList []string, seeds int) error {
+	if appList == nil {
+		appList = apps.Names()
+	}
+	machines := []machine.Config{machine.TwoSocketXeon(), machine.FourSocket(), machine.BullionS16()}
+	cols := make([]string, len(machines))
+	for i, m := range machines {
+		cols[i] = fmt.Sprintf("%ds", m.Sockets)
+	}
+	tb := metrics.NewTable("A3: RGP+LAS speedup over LAS by socket count", cols...)
+	for _, app := range appList {
+		for i, m := range machines {
+			base := core.DefaultConfig(app, "LAS", sc)
+			base.Machine = m
+			las, err := averaged(base, seeds)
+			if err != nil {
+				return err
+			}
+			cfg := core.DefaultConfig(app, "RGP+LAS", sc)
+			cfg.Machine = m
+			rgp, err := averaged(cfg, seeds)
+			if err != nil {
+				return err
+			}
+			tb.Set(app, cols[i], las/rgp)
+		}
+	}
+	return tb.Write(os.Stdout)
+}
+
+// propagationSweep (A4): speedup over LAS of the two RGP propagation modes.
+// The window is forced small enough that every app spans several windows —
+// with a single window the two modes coincide by construction.
+func propagationSweep(sc apps.Scale, appList []string, seeds int) error {
+	if appList == nil {
+		appList = apps.Names()
+	}
+	const window = 256
+	cols := []string{"RGP+LAS", "RGP"}
+	tb := metrics.NewTable(
+		fmt.Sprintf("A4: speedup over LAS by propagation mode (window=%d)", window), cols...)
+	for _, app := range appList {
+		lasCfg := core.DefaultConfig(app, "LAS", sc)
+		lasCfg.Runtime.WindowSize = window
+		las, err := averaged(lasCfg, seeds)
+		if err != nil {
+			return err
+		}
+		for _, pol := range cols {
+			cfg := core.DefaultConfig(app, pol, sc)
+			cfg.Runtime.WindowSize = window
+			v, err := averaged(cfg, seeds)
+			if err != nil {
+				return err
+			}
+			tb.Set(app, pol, las/v)
+		}
+	}
+	return tb.Write(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Custompolicy: implement a new scheduling policy against the public Policy
+// interface and race it against the built-in ones.
+//
+// The example policy, "widest-first", places each ready task on the socket
+// with the shortest queue, breaking ties toward the socket holding most of
+// the task's data — a simple blend of load balancing and locality that sits
+// between DFIFO and LAS.
+//
+//	go run ./examples/custompolicy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"numadag"
+)
+
+// shortestQueue is the custom policy. It is deterministic: ties break by
+// residency bytes, then socket index.
+type shortestQueue struct{}
+
+// Name implements numadag.Policy.
+func (shortestQueue) Name() string { return "ShortestQueue" }
+
+// PickSocket implements numadag.Policy.
+func (shortestQueue) PickSocket(r *numadag.Runtime, t *numadag.Task) int {
+	res := r.ResidencyBytes(t)
+	best, bestLen, bestBytes := 0, int(^uint(0)>>1), int64(-1)
+	for s := 0; s < r.Machine().Sockets(); s++ {
+		l := r.QueueLen(s)
+		switch {
+		case l < bestLen:
+			best, bestLen, bestBytes = s, l, res[s]
+		case l == bestLen && res[s] > bestBytes:
+			best, bestBytes = s, res[s]
+		}
+	}
+	return best
+}
+
+func main() {
+	const app = "cg"
+	run := func(pol numadag.Policy) numadag.Result {
+		eng := numadag.NewEngine()
+		m := numadag.NewMachine(numadag.BullionS16(), eng)
+		r := numadag.NewRuntime(m, pol, numadag.DefaultRuntimeOptions())
+		a, err := numadag.AppByName(app, numadag.ScaleSmall)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a.Build(r)
+		return r.Run()
+	}
+
+	las, err := numadag.NewPolicy("LAS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rgp, err := numadag.NewPolicy("RGP+LAS")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %q, custom policy vs built-ins\n\n", app)
+	for _, p := range []numadag.Policy{shortestQueue{}, las, rgp} {
+		res := run(p)
+		fmt.Printf("%-14s makespan %12v  remote %5.1f%%  imbalance %.2f\n",
+			p.Name(), res.Makespan, 100*res.RemoteRatio(), res.LoadImbalance)
+	}
+}

@@ -1,0 +1,36 @@
+// Quickstart: run one of the paper's benchmarks under the paper's policies
+// and print each policy's makespan and speedup over the LAS baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"numadag"
+)
+
+func main() {
+	const app = "jacobi"
+	fmt.Printf("benchmark %q on the simulated bullion S16 (8 sockets x 4 cores)\n\n", app)
+
+	baselineCfg := numadag.DefaultConfig(app, "LAS", numadag.ScaleSmall)
+	baseline, err := numadag.Run(baselineCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %14v  (baseline)  %s\n", "LAS", baseline.Stats.Makespan, baseline.Stats.Summary())
+
+	for _, pol := range []string{"DFIFO", "EP", "RGP+LAS"} {
+		cfg := numadag.DefaultConfig(app, pol, numadag.ScaleSmall)
+		res, err := numadag.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		speedup := float64(baseline.Stats.Makespan) / float64(res.Stats.Makespan)
+		fmt.Printf("%-8s %14v  (%.2fx)     %s\n", pol, res.Stats.Makespan, speedup, res.Stats.Summary())
+	}
+
+	fmt.Println("\nfull Figure-1 reproduction: go run ./cmd/figure1")
+}

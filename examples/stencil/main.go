@@ -1,0 +1,104 @@
+// Stencil: build a custom task-based application — a 2D heat-diffusion
+// stencil — directly against the runtime API, and watch how data placement
+// evolves under locality-aware scheduling vs runtime graph partitioning.
+//
+// This is the "write your own app" path: allocate regions, submit tasks
+// with in/out accesses, and let the runtime derive the dependency graph.
+//
+//	go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"numadag"
+)
+
+const (
+	nb    = 12        // 12x12 tile grid
+	tile  = 128 << 10 // 128 KiB per tile
+	steps = 8
+)
+
+// buildHeat submits init tasks plus `steps` ping-pong sweeps of a 5-point
+// stencil and returns the runtime, ready to Run.
+func buildHeat(r *numadag.Runtime) {
+	alloc := func(name string) [][]*numadag.Region {
+		g := make([][]*numadag.Region, nb)
+		for i := range g {
+			g[i] = make([]*numadag.Region, nb)
+			for j := range g[i] {
+				g[i][j] = r.Mem().Alloc(fmt.Sprintf("%s[%d][%d]", name, i, j), tile, numadag.Deferred, 0)
+			}
+		}
+		return g
+	}
+	src, dst := alloc("cur"), alloc("next")
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			r.Submit(numadag.TaskSpec{
+				Label:    fmt.Sprintf("init(%d,%d)", i, j),
+				Flops:    float64(tile / 8),
+				Accesses: []numadag.Access{{Region: src[i][j], Mode: numadag.Out}},
+				EPSocket: numadag.NoEPHint,
+			})
+		}
+	}
+	for s := 0; s < steps; s++ {
+		for i := 0; i < nb; i++ {
+			for j := 0; j < nb; j++ {
+				acc := []numadag.Access{
+					{Region: dst[i][j], Mode: numadag.Out},
+					{Region: src[i][j], Mode: numadag.In},
+				}
+				for _, d := range [][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+					ni, nj := i+d[0], j+d[1]
+					if ni >= 0 && ni < nb && nj >= 0 && nj < nb {
+						acc = append(acc, numadag.Access{Region: src[ni][nj], Mode: numadag.In})
+					}
+				}
+				r.Submit(numadag.TaskSpec{
+					Label:    fmt.Sprintf("heat(%d,%d,%d)", s, i, j),
+					Flops:    4 * float64(tile/8),
+					Accesses: acc,
+					EPSocket: numadag.NoEPHint,
+				})
+			}
+		}
+		src, dst = dst, src
+	}
+}
+
+func main() {
+	fmt.Printf("2D heat diffusion, %dx%d tiles of %d KiB, %d steps\n\n", nb, nb, tile>>10, steps)
+	for _, polName := range []string{"LAS", "RGP+LAS"} {
+		pol, err := numadag.NewPolicy(polName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng := numadag.NewEngine()
+		m := numadag.NewMachine(numadag.BullionS16(), eng)
+		r := numadag.NewRuntime(m, pol, numadag.DefaultRuntimeOptions())
+		buildHeat(r)
+		res := r.Run()
+		fmt.Printf("%-8s makespan %12v   remote traffic %5.1f%%   TDG cut %8d bytes\n",
+			polName, res.Makespan, 100*res.RemoteRatio(), res.CutBytes)
+
+		// Where did the tiles end up? Count tiles per socket.
+		perSocket := make([]int, m.Sockets())
+		for _, reg := range r.Mem().Regions() {
+			by := reg.BytesOnSocket(m.Sockets())
+			best, bestB := 0, int64(-1)
+			for s, b := range by {
+				if b > bestB {
+					best, bestB = s, b
+				}
+			}
+			perSocket[best]++
+		}
+		fmt.Printf("         tiles homed per socket: %v\n\n", perSocket)
+	}
+	fmt.Println("RGP+LAS should show less remote traffic and a smaller TDG cut:")
+	fmt.Println("the partitioner groups neighboring tiles' tasks on the same socket.")
+}

@@ -1,0 +1,401 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"numadag/internal/machine"
+	"numadag/internal/rt"
+	"numadag/internal/sim"
+)
+
+// buildOn builds an app on a fresh bullion runtime without running it.
+func buildOn(t *testing.T, app App) *rt.Runtime {
+	t.Helper()
+	m := machine.New(machine.BullionS16(), sim.NewEngine())
+	r := rt.NewRuntime(m, dfifoStub{}, rt.Options{WindowSize: 64})
+	app.Build(r)
+	return r
+}
+
+type dfifoStub struct{}
+
+func (dfifoStub) Name() string                         { return "stub" }
+func (dfifoStub) PickSocket(*rt.Runtime, *rt.Task) int { return rt.AnySocket }
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{"cg", "gauss-seidel", "inthist", "jacobi", "nstream", "qr", "red-black", "syminv"}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d apps, want %d: %v", len(names), len(want), names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", Tiny); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{"tiny": Tiny, "small": Small, "paper": Paper} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestAllAppsBuildAcyclicGraphs(t *testing.T) {
+	for _, app := range All(Tiny) {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			r := buildOn(t, app)
+			if r.Graph().Len() == 0 {
+				t.Fatal("no tasks submitted")
+			}
+			if err := r.Graph().Validate(); err != nil {
+				t.Fatalf("TDG has a cycle: %v", err)
+			}
+		})
+	}
+}
+
+func TestAllAppsRunToCompletion(t *testing.T) {
+	for _, app := range All(Tiny) {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			r := buildOn(t, app)
+			res := r.Run()
+			if res.TasksRun != r.Graph().Len() {
+				t.Fatalf("ran %d of %d tasks", res.TasksRun, r.Graph().Len())
+			}
+			if res.Makespan <= 0 {
+				t.Fatal("zero makespan")
+			}
+			if err := r.AuditSchedule(); err != nil {
+				t.Fatalf("schedule audit: %v", err)
+			}
+		})
+	}
+}
+
+func TestEPHintsWithinRange(t *testing.T) {
+	for _, app := range All(Tiny) {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			r := buildOn(t, app)
+			sockets := r.Machine().Sockets()
+			withHint := 0
+			for _, task := range r.Tasks() {
+				if task.EPSocket == rt.NoEPHint {
+					continue
+				}
+				withHint++
+				if task.EPSocket < 0 || task.EPSocket >= sockets {
+					t.Fatalf("task %s EP socket %d out of range", task.Label, task.EPSocket)
+				}
+			}
+			if withHint == 0 {
+				t.Fatal("app provides no expert placement hints")
+			}
+		})
+	}
+}
+
+func TestPaperScaleTaskCounts(t *testing.T) {
+	// The evaluation needs thousands of tasks per app (the window size is
+	// 2048); verify every app's Paper preset is big enough and not absurd.
+	for _, app := range All(Paper) {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			r := buildOn(t, app)
+			n := r.Graph().Len()
+			if n < 2200 {
+				t.Fatalf("paper scale has only %d tasks", n)
+			}
+			if n > 100000 {
+				t.Fatalf("paper scale has %d tasks; simulator runs would crawl", n)
+			}
+		})
+	}
+}
+
+func TestJacobiStructure(t *testing.T) {
+	p := StencilParams{NB: 4, TileBytes: 16 * kib, Iters: 3}
+	m := machine.New(machine.BullionS16(), sim.NewEngine())
+	r := rt.NewRuntime(m, dfifoStub{}, rt.Options{})
+	buildJacobi(r, p)
+	wantTasks := 16 + 3*16 // init + iterations
+	if got := r.Graph().Len(); got != wantTasks {
+		t.Fatalf("jacobi tasks = %d, want %d", got, wantTasks)
+	}
+	// An interior tile task must read 5 tiles and write 1.
+	var interior *rt.Task
+	for _, task := range r.Tasks() {
+		if task.Label == "jacobi(1,1,1)" {
+			interior = task
+		}
+	}
+	if interior == nil {
+		t.Fatal("interior task not found")
+	}
+	reads, writes := 0, 0
+	for _, a := range interior.Accesses {
+		if a.Mode.Reads() {
+			reads++
+		}
+		if a.Mode.Writes() {
+			writes++
+		}
+	}
+	if reads != 5 || writes != 1 {
+		t.Fatalf("interior stencil has %d reads, %d writes", reads, writes)
+	}
+}
+
+func TestGaussSeidelWavefront(t *testing.T) {
+	p := StencilParams{NB: 4, TileBytes: 16 * kib, Iters: 1}
+	m := machine.New(machine.BullionS16(), sim.NewEngine())
+	r := rt.NewRuntime(m, dfifoStub{}, rt.Options{})
+	buildGaussSeidel(r, p)
+	// In a single sweep, tile (i,j) transitively depends on (0,0); levels
+	// along the diagonal must strictly increase.
+	lvl, _, err := r.Graph().Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(label string) *rt.Task {
+		for _, task := range r.Tasks() {
+			if task.Label == label {
+				return task
+			}
+		}
+		t.Fatalf("task %s not found", label)
+		return nil
+	}
+	l00 := lvl[find("gs(0,0,0)").ID]
+	l11 := lvl[find("gs(0,1,1)").ID]
+	l33 := lvl[find("gs(0,3,3)").ID]
+	if !(l00 < l11 && l11 < l33) {
+		t.Fatalf("diagonal levels not increasing: %d, %d, %d", l00, l11, l33)
+	}
+}
+
+func TestNStreamChunkIndependence(t *testing.T) {
+	p := NStreamParams{Chunks: 4, ChunkBytes: 64 * kib, Iters: 2}
+	m := machine.New(machine.BullionS16(), sim.NewEngine())
+	r := rt.NewRuntime(m, dfifoStub{}, rt.Options{})
+	buildNStream(r, p)
+	// No dependency may connect different chunks: check that every edge's
+	// endpoint labels agree on the chunk index (the last parenthesized
+	// number).
+	chunkOf := func(label string) string {
+		i := strings.LastIndex(label, ",")
+		if i < 0 { // init_X(j)
+			i = strings.LastIndex(label, "(")
+		}
+		return strings.TrimRight(label[i+1:], ")")
+	}
+	g := r.Graph()
+	for _, e := range g.EdgeList() {
+		a, b := g.Label(e.From), g.Label(e.To)
+		if chunkOf(a) != chunkOf(b) {
+			t.Fatalf("cross-chunk dependency %s -> %s", a, b)
+		}
+	}
+}
+
+func TestQRTaskKinds(t *testing.T) {
+	p := DenseParams{NT: 4, TileBytes: 32 * kib}
+	m := machine.New(machine.BullionS16(), sim.NewEngine())
+	r := rt.NewRuntime(m, dfifoStub{}, rt.Options{})
+	buildQR(r, p)
+	counts := map[string]int{}
+	for _, task := range r.Tasks() {
+		kind := task.Label[:strings.Index(task.Label, "(")]
+		counts[kind]++
+	}
+	nt := p.NT
+	if counts["geqrt"] != nt {
+		t.Errorf("geqrt count %d, want %d", counts["geqrt"], nt)
+	}
+	wantTS := nt * (nt - 1) / 2
+	if counts["tsqrt"] != wantTS || counts["unmqr"] != wantTS {
+		t.Errorf("tsqrt/unmqr counts %d/%d, want %d", counts["tsqrt"], counts["unmqr"], wantTS)
+	}
+	wantTSM := 0
+	for k := 0; k < nt; k++ {
+		wantTSM += (nt - 1 - k) * (nt - 1 - k)
+	}
+	if counts["tsmqr"] != wantTSM {
+		t.Errorf("tsmqr count %d, want %d", counts["tsmqr"], wantTSM)
+	}
+	if counts["init"] != nt*nt {
+		t.Errorf("init count %d, want %d", counts["init"], nt*nt)
+	}
+}
+
+func TestQRPanelOrdering(t *testing.T) {
+	p := DenseParams{NT: 3, TileBytes: 32 * kib}
+	m := machine.New(machine.BullionS16(), sim.NewEngine())
+	r := rt.NewRuntime(m, dfifoStub{}, rt.Options{})
+	buildQR(r, p)
+	r.Run()
+	byLabel := map[string]*rt.Task{}
+	for _, task := range r.Tasks() {
+		byLabel[task.Label] = task
+	}
+	// geqrt(1) must run after the trailing update tsmqr(1,1,0) completes.
+	if byLabel["geqrt(1)"].StartAt < byLabel["tsmqr(1,1,0)"].EndAt {
+		t.Fatal("second panel started before first trailing update finished")
+	}
+}
+
+func TestSymInvThreeSweepsChain(t *testing.T) {
+	p := DenseParams{NT: 3, TileBytes: 32 * kib}
+	m := machine.New(machine.BullionS16(), sim.NewEngine())
+	r := rt.NewRuntime(m, dfifoStub{}, rt.Options{})
+	buildSymInv(r, p)
+	r.Run()
+	byLabel := map[string]*rt.Task{}
+	for _, task := range r.Tasks() {
+		byLabel[task.Label] = task
+	}
+	potrf0 := byLabel["potrf(0)"]
+	trtri0 := byLabel["trtri(0)"]
+	lauum0 := byLabel["lauum(0)"]
+	if potrf0 == nil || trtri0 == nil || lauum0 == nil {
+		t.Fatal("sweep tasks missing")
+	}
+	if !(potrf0.EndAt <= trtri0.StartAt+1 && trtri0.EndAt <= lauum0.StartAt+1) {
+		// trtri(0) reads nothing from potrf(0) directly besides A[0][0];
+		// check via the graph instead of wall-clock.
+		g := r.Graph()
+		lvl, _, err := g.Levels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(lvl[potrf0.ID] < lvl[trtri0.ID] && lvl[trtri0.ID] < lvl[lauum0.ID]) {
+			t.Fatalf("sweeps not ordered: levels %d, %d, %d",
+				lvl[potrf0.ID], lvl[trtri0.ID], lvl[lauum0.ID])
+		}
+	}
+}
+
+func TestCGReductionIsGlobalSync(t *testing.T) {
+	p := CGParams{Blocks: 4, ABlockBytes: 64 * kib, VecBlockBytes: 16 * kib, Iters: 1}
+	m := machine.New(machine.BullionS16(), sim.NewEngine())
+	r := rt.NewRuntime(m, dfifoStub{}, rt.Options{})
+	buildCG(r, p)
+	var reduce *rt.Task
+	for _, task := range r.Tasks() {
+		if task.Label == "reduce1(0)" {
+			reduce = task
+		}
+	}
+	if reduce == nil {
+		t.Fatal("reduce task missing")
+	}
+	// The reduction reads one partial per block.
+	if got := r.Graph().InDegree(reduce.ID); got < p.Blocks {
+		t.Fatalf("reduce1 in-degree %d, want >= %d", got, p.Blocks)
+	}
+}
+
+func TestRedBlackColorPhases(t *testing.T) {
+	p := StencilParams{NB: 4, TileBytes: 16 * kib, Iters: 1}
+	m := machine.New(machine.BullionS16(), sim.NewEngine())
+	r := rt.NewRuntime(m, dfifoStub{}, rt.Options{})
+	buildRedBlack(r, p)
+	r.Run()
+	var red, black []*rt.Task
+	for _, task := range r.Tasks() {
+		if strings.HasPrefix(task.Label, "rb(0,0,") {
+			red = append(red, task)
+		}
+		if strings.HasPrefix(task.Label, "rb(0,1,") {
+			black = append(black, task)
+		}
+	}
+	if len(red) != 8 || len(black) != 8 {
+		t.Fatalf("phase sizes %d/%d, want 8/8", len(red), len(black))
+	}
+	// Every black interior tile depends on red neighbors: a black tile may
+	// not start before all four of its red neighbors finished. Spot-check
+	// tile (1,2) (black since 1+2 odd) against neighbor (1,1).
+	byLabel := map[string]*rt.Task{}
+	for _, task := range r.Tasks() {
+		byLabel[task.Label] = task
+	}
+	b12 := byLabel["rb(0,1,1,2)"]
+	r11 := byLabel["rb(0,0,1,1)"]
+	if b12.StartAt < r11.EndAt {
+		t.Fatal("black tile ran before its red neighbor")
+	}
+}
+
+func TestIntHistWavefrontDepth(t *testing.T) {
+	p := IntHistParams{NB: 4, ImgTileBytes: 32 * kib, HistBytes: 8 * kib, Frames: 1}
+	m := machine.New(machine.BullionS16(), sim.NewEngine())
+	r := rt.NewRuntime(m, dfifoStub{}, rt.Options{})
+	buildIntHist(r, p)
+	lvl, n, err := r.Graph().Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = lvl
+	// Depth must be at least the anti-diagonal length (wavefront) plus the
+	// load level: 2*NB-1 + 1.
+	if n < 2*p.NB {
+		t.Fatalf("wavefront depth %d, want >= %d", n, 2*p.NB)
+	}
+}
+
+func TestBlockRowOwnerCoversAllSockets(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 16; i++ {
+		s := blockRowOwner(i, 16, 8)
+		if s < 0 || s >= 8 {
+			t.Fatalf("owner %d out of range", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("block rows covered %d of 8 sockets", len(seen))
+	}
+	if blockRowOwner(0, 0, 8) != 0 {
+		t.Fatal("degenerate nb not handled")
+	}
+}
+
+func TestBlockCyclic2D(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			s := blockCyclic2D(i, j, 8)
+			if s < 0 || s >= 8 {
+				t.Fatalf("owner %d out of range", s)
+			}
+			seen[s] = true
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("block cyclic covered %d of 8 sockets", len(seen))
+	}
+	pr, pc := grid2(8)
+	if pr*pc != 8 || pr > pc {
+		t.Fatalf("grid2(8) = %dx%d", pr, pc)
+	}
+	if pr2, pc2 := grid2(9); pr2 != 3 || pc2 != 3 {
+		t.Fatalf("grid2(9) = %dx%d, want 3x3", pr2, pc2)
+	}
+}

@@ -1,0 +1,116 @@
+package apps
+
+import (
+	"fmt"
+
+	"numadag/internal/rt"
+)
+
+// The WithParams constructors expose each generator with explicit problem
+// sizes, for experiments beyond the three presets. They validate eagerly so
+// a bad sweep configuration fails before any simulation time is spent.
+
+// Validate checks stencil parameters.
+func (p StencilParams) Validate() error {
+	if p.NB < 2 || p.TileBytes <= 0 || p.Iters < 1 {
+		return fmt.Errorf("apps: invalid stencil params %+v", p)
+	}
+	return nil
+}
+
+// Validate checks NStream parameters.
+func (p NStreamParams) Validate() error {
+	if p.Chunks < 1 || p.ChunkBytes <= 0 || p.Iters < 1 {
+		return fmt.Errorf("apps: invalid nstream params %+v", p)
+	}
+	return nil
+}
+
+// Validate checks CG parameters.
+func (p CGParams) Validate() error {
+	if p.Blocks < 2 || p.ABlockBytes <= 0 || p.VecBlockBytes <= 0 || p.Iters < 1 {
+		return fmt.Errorf("apps: invalid cg params %+v", p)
+	}
+	return nil
+}
+
+// Validate checks integral-histogram parameters.
+func (p IntHistParams) Validate() error {
+	if p.NB < 2 || p.ImgTileBytes <= 0 || p.HistBytes <= 0 || p.Frames < 1 {
+		return fmt.Errorf("apps: invalid inthist params %+v", p)
+	}
+	return nil
+}
+
+// Validate checks dense linear-algebra parameters.
+func (p DenseParams) Validate() error {
+	if p.NT < 2 || p.TileBytes <= 0 {
+		return fmt.Errorf("apps: invalid dense params %+v", p)
+	}
+	return nil
+}
+
+// NewJacobiWith builds Jacobi with explicit sizes.
+func NewJacobiWith(p StencilParams) (App, error) {
+	if err := p.Validate(); err != nil {
+		return App{}, err
+	}
+	return App{Name: "jacobi", Build: func(r *rt.Runtime) { buildJacobi(r, p) }}, nil
+}
+
+// NewRedBlackWith builds Red-Black with explicit sizes.
+func NewRedBlackWith(p StencilParams) (App, error) {
+	if err := p.Validate(); err != nil {
+		return App{}, err
+	}
+	return App{Name: "red-black", Build: func(r *rt.Runtime) { buildRedBlack(r, p) }}, nil
+}
+
+// NewGaussSeidelWith builds Gauss-Seidel with explicit sizes.
+func NewGaussSeidelWith(p StencilParams) (App, error) {
+	if err := p.Validate(); err != nil {
+		return App{}, err
+	}
+	return App{Name: "gauss-seidel", Build: func(r *rt.Runtime) { buildGaussSeidel(r, p) }}, nil
+}
+
+// NewNStreamWith builds NStream with explicit sizes.
+func NewNStreamWith(p NStreamParams) (App, error) {
+	if err := p.Validate(); err != nil {
+		return App{}, err
+	}
+	return App{Name: "nstream", Build: func(r *rt.Runtime) { buildNStream(r, p) }}, nil
+}
+
+// NewCGWith builds conjugate gradient with explicit sizes.
+func NewCGWith(p CGParams) (App, error) {
+	if err := p.Validate(); err != nil {
+		return App{}, err
+	}
+	return App{Name: "cg", Build: func(r *rt.Runtime) { buildCG(r, p) }}, nil
+}
+
+// NewIntegralHistogramWith builds the integral histogram with explicit
+// sizes.
+func NewIntegralHistogramWith(p IntHistParams) (App, error) {
+	if err := p.Validate(); err != nil {
+		return App{}, err
+	}
+	return App{Name: "inthist", Build: func(r *rt.Runtime) { buildIntHist(r, p) }}, nil
+}
+
+// NewQRWith builds tiled QR with explicit sizes.
+func NewQRWith(p DenseParams) (App, error) {
+	if err := p.Validate(); err != nil {
+		return App{}, err
+	}
+	return App{Name: "qr", Build: func(r *rt.Runtime) { buildQR(r, p) }}, nil
+}
+
+// NewSymInvWith builds symmetric matrix inversion with explicit sizes.
+func NewSymInvWith(p DenseParams) (App, error) {
+	if err := p.Validate(); err != nil {
+		return App{}, err
+	}
+	return App{Name: "syminv", Build: func(r *rt.Runtime) { buildSymInv(r, p) }}, nil
+}

@@ -1,0 +1,214 @@
+// Package core orchestrates the paper's evaluation: it wires an application
+// task graph, a scheduling policy and a simulated machine together, runs the
+// simulation, and produces the speedup tables of Figure 1 and the ablation
+// sweeps documented in DESIGN.md.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"numadag/internal/apps"
+	"numadag/internal/machine"
+	"numadag/internal/metrics"
+	"numadag/internal/policy"
+	"numadag/internal/rt"
+	"numadag/internal/sim"
+)
+
+// PolicyNames lists the Figure-1 configurations in the paper's legend
+// order. LAS is the baseline all speedups are relative to.
+var PolicyNames = []string{"DFIFO", "RGP+LAS", "EP", "LAS"}
+
+// NewPolicy instantiates a scheduling policy by name.
+func NewPolicy(name string) (rt.Policy, error) {
+	switch name {
+	case "DFIFO":
+		return policy.DFIFO{}, nil
+	case "LAS":
+		return policy.LAS{}, nil
+	case "EP":
+		return policy.EP{}, nil
+	case "RGP+LAS":
+		return policy.NewRGPLAS(), nil
+	case "RGP":
+		return policy.NewRGPRepartition(), nil
+	case "Random":
+		return policy.RandomSocket{}, nil
+	case "OSMigrate":
+		return policy.NewOSMigrate(), nil
+	case "HEFT":
+		return policy.NewHEFT(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q", name)
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	App     string
+	Scale   apps.Scale
+	Policy  string
+	Machine machine.Config
+	Runtime rt.Options
+}
+
+// DefaultConfig returns the evaluation settings: bullion S16 machine and
+// the default runtime options.
+func DefaultConfig(app, pol string, scale apps.Scale) Config {
+	return Config{
+		App:     app,
+		Scale:   scale,
+		Policy:  pol,
+		Machine: machine.BullionS16(),
+		Runtime: rt.DefaultOptions(),
+	}
+}
+
+// RunResult couples a run's configuration with its statistics.
+type RunResult struct {
+	Config Config
+	Stats  rt.Result
+	Tasks  int
+}
+
+// Run executes one configuration. Every run is audited against the task
+// graph's semantics (dependences respected, cores exclusive) before its
+// statistics are trusted; an audit failure is a bug in the runtime or
+// policy, surfaced as an error rather than a silently wrong data point.
+func Run(cfg Config) (RunResult, error) {
+	app, err := apps.ByName(cfg.App, cfg.Scale)
+	if err != nil {
+		return RunResult{}, err
+	}
+	pol, err := NewPolicy(cfg.Policy)
+	if err != nil {
+		return RunResult{}, err
+	}
+	eng := sim.NewEngine()
+	m := machine.New(cfg.Machine, eng)
+	r := rt.NewRuntime(m, pol, cfg.Runtime)
+	app.Build(r)
+	stats := r.Run()
+	if err := r.AuditSchedule(); err != nil {
+		return RunResult{}, fmt.Errorf("core: %s/%s: %w", cfg.App, cfg.Policy, err)
+	}
+	return RunResult{Config: cfg, Stats: stats, Tasks: stats.TasksRun}, nil
+}
+
+// Figure1Options tunes the Figure-1 reproduction.
+type Figure1Options struct {
+	Scale   apps.Scale
+	Machine machine.Config
+	Runtime rt.Options
+	// Seeds averages each (app, policy) cell over this many seeds (the
+	// paper averages repeated executions; randomized policies like LAS
+	// need it for stable numbers). Must be >= 1.
+	Seeds int
+	// Apps optionally restricts the benchmark list (nil = all eight).
+	Apps []string
+}
+
+// DefaultFigure1Options returns the paper-faithful settings.
+func DefaultFigure1Options() Figure1Options {
+	return Figure1Options{
+		Scale:   apps.Paper,
+		Machine: machine.BullionS16(),
+		Runtime: rt.DefaultOptions(),
+		Seeds:   3,
+	}
+}
+
+// Figure1 reproduces the paper's Figure 1: for every benchmark it runs
+// DFIFO, RGP+LAS, EP and LAS on the configured machine and reports each
+// policy's speedup over the LAS baseline, plus the geometric mean row.
+// The returned table has one row per app (plus "geomean") and one column
+// per policy.
+//
+// Individual simulation runs are independent and internally deterministic,
+// so Figure1 executes them on a host worker pool (one worker per CPU); the
+// resulting table is identical to a sequential evaluation.
+func Figure1(opt Figure1Options) (*metrics.Table, error) {
+	if opt.Seeds < 1 {
+		return nil, fmt.Errorf("core: Seeds must be >= 1")
+	}
+	names := opt.Apps
+	if names == nil {
+		names = apps.Names()
+	}
+	cols := []string{"DFIFO", "RGP+LAS", "EP"}
+	table := metrics.NewTable(
+		fmt.Sprintf("Figure 1: speedup over LAS (%s, %s scale, %d seed(s))",
+			opt.Machine.Name, opt.Scale, opt.Seeds),
+		cols...)
+
+	type job struct {
+		app, pol string
+		seed     uint64
+	}
+	var jobs []job
+	for _, app := range names {
+		for _, pol := range append([]string{"LAS"}, cols...) {
+			for s := 0; s < opt.Seeds; s++ {
+				jobs = append(jobs, job{app: app, pol: pol, seed: opt.Runtime.Seed + uint64(1000*s)})
+			}
+		}
+	}
+	makespans := make([]float64, len(jobs))
+	errs := make([]error, len(jobs))
+	var next atomic.Int64
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				cfg := Config{
+					App:     jobs[i].app,
+					Scale:   opt.Scale,
+					Policy:  jobs[i].pol,
+					Machine: opt.Machine,
+					Runtime: opt.Runtime,
+				}
+				cfg.Runtime.Seed = jobs[i].seed
+				res, err := Run(cfg)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				makespans[i] = float64(res.Stats.Makespan)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Aggregate: mean makespan per (app, policy).
+	mean := make(map[[2]string]float64, len(names)*4)
+	for i, j := range jobs {
+		mean[[2]string{j.app, j.pol}] += makespans[i] / float64(opt.Seeds)
+	}
+	for _, app := range names {
+		baseline := mean[[2]string{app, "LAS"}]
+		for _, pol := range cols {
+			table.Set(app, pol, metrics.Speedup(baseline, mean[[2]string{app, pol}]))
+		}
+	}
+	for _, pol := range cols {
+		table.Set("geomean", pol, metrics.GeoMean(table.ColumnValues(pol)))
+	}
+	return table, nil
+}

@@ -1,0 +1,483 @@
+// Package graph provides the weighted directed-acyclic-graph structure the
+// runtime uses for task dependency graphs (TDGs), together with the
+// algorithms the scheduler and partitioner need: topological orders, level
+// assignment, connected components, induced subgraphs and transitive
+// reduction. Node weights carry computational work; edge weights carry the
+// bytes a dependency communicates, which is exactly the weighting §2.2 of
+// the paper feeds to the partitioner.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID indexes a node within its DAG. IDs are dense: 0..N-1 in insertion
+// order.
+type NodeID int32
+
+// Edge is a directed, weighted dependency between two nodes.
+type Edge struct {
+	From, To NodeID
+	Weight   int64 // bytes communicated over the dependency
+}
+
+// DAG is a mutable directed acyclic graph with weighted nodes and edges.
+// Mutation never reorders existing IDs, so external arrays indexed by NodeID
+// stay valid as the graph grows (the runtime relies on this while streaming
+// tasks in).
+//
+// The DAG does not check acyclicity on every AddEdge (that would be
+// quadratic for the runtime's streaming use); TopoOrder returns an error on
+// cyclic input and Validate performs a full check.
+type DAG struct {
+	nodeW  []int64
+	labels []string
+	succ   [][]halfEdge // sorted by target id per node (kept sorted on insert)
+	pred   [][]halfEdge
+	nEdges int
+}
+
+type halfEdge struct {
+	to NodeID
+	w  int64
+}
+
+// New returns an empty DAG.
+func New() *DAG { return &DAG{} }
+
+// NewWithCapacity returns an empty DAG with room for n nodes.
+func NewWithCapacity(n int) *DAG {
+	return &DAG{
+		nodeW:  make([]int64, 0, n),
+		labels: make([]string, 0, n),
+		succ:   make([][]halfEdge, 0, n),
+		pred:   make([][]halfEdge, 0, n),
+	}
+}
+
+// Len returns the number of nodes.
+func (g *DAG) Len() int { return len(g.nodeW) }
+
+// Edges returns the number of edges.
+func (g *DAG) Edges() int { return g.nEdges }
+
+// AddNode appends a node with the given label and weight, returning its ID.
+func (g *DAG) AddNode(label string, weight int64) NodeID {
+	if weight < 0 {
+		panic(fmt.Sprintf("graph: negative node weight %d", weight))
+	}
+	id := NodeID(len(g.nodeW))
+	g.nodeW = append(g.nodeW, weight)
+	g.labels = append(g.labels, label)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return id
+}
+
+// NodeWeight returns the node's weight.
+func (g *DAG) NodeWeight(id NodeID) int64 { return g.nodeW[id] }
+
+// SetNodeWeight updates the node's weight.
+func (g *DAG) SetNodeWeight(id NodeID, w int64) {
+	if w < 0 {
+		panic(fmt.Sprintf("graph: negative node weight %d", w))
+	}
+	g.nodeW[id] = w
+}
+
+// Label returns the node's label.
+func (g *DAG) Label(id NodeID) string { return g.labels[id] }
+
+// AddEdge inserts an edge from -> to with the given weight. Inserting a
+// parallel edge accumulates its weight onto the existing edge (multiple
+// dependencies between the same task pair represent more communicated
+// bytes, not more edges). Self-loops panic: a task cannot depend on itself.
+func (g *DAG) AddEdge(from, to NodeID, weight int64) {
+	if from == to {
+		panic(fmt.Sprintf("graph: self-loop on node %d", from))
+	}
+	if weight < 0 {
+		panic(fmt.Sprintf("graph: negative edge weight %d", weight))
+	}
+	g.checkID(from)
+	g.checkID(to)
+	if i, ok := findHalf(g.succ[from], to); ok {
+		g.succ[from][i].w += weight
+		j, _ := findHalf(g.pred[to], from)
+		g.pred[to][j].w += weight
+		return
+	}
+	g.succ[from] = insertHalf(g.succ[from], halfEdge{to: to, w: weight})
+	g.pred[to] = insertHalf(g.pred[to], halfEdge{to: from, w: weight})
+	g.nEdges++
+}
+
+// HasEdge reports whether from -> to exists.
+func (g *DAG) HasEdge(from, to NodeID) bool {
+	g.checkID(from)
+	g.checkID(to)
+	_, ok := findHalf(g.succ[from], to)
+	return ok
+}
+
+// EdgeWeight returns the weight of from -> to, or 0 if absent.
+func (g *DAG) EdgeWeight(from, to NodeID) int64 {
+	g.checkID(from)
+	g.checkID(to)
+	if i, ok := findHalf(g.succ[from], to); ok {
+		return g.succ[from][i].w
+	}
+	return 0
+}
+
+// Succs calls fn for each successor of id in increasing ID order.
+func (g *DAG) Succs(id NodeID, fn func(to NodeID, w int64)) {
+	for _, h := range g.succ[id] {
+		fn(h.to, h.w)
+	}
+}
+
+// Preds calls fn for each predecessor of id in increasing ID order.
+func (g *DAG) Preds(id NodeID, fn func(from NodeID, w int64)) {
+	for _, h := range g.pred[id] {
+		fn(h.to, h.w)
+	}
+}
+
+// OutDegree returns the number of successors.
+func (g *DAG) OutDegree(id NodeID) int { return len(g.succ[id]) }
+
+// InDegree returns the number of predecessors.
+func (g *DAG) InDegree(id NodeID) int { return len(g.pred[id]) }
+
+// Roots returns the nodes with no predecessors, in ID order.
+func (g *DAG) Roots() []NodeID {
+	var out []NodeID
+	for i := range g.pred {
+		if len(g.pred[i]) == 0 {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Leaves returns the nodes with no successors, in ID order.
+func (g *DAG) Leaves() []NodeID {
+	var out []NodeID
+	for i := range g.succ {
+		if len(g.succ[i]) == 0 {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// EdgeList returns every edge, ordered by (From, To).
+func (g *DAG) EdgeList() []Edge {
+	out := make([]Edge, 0, g.nEdges)
+	for from := range g.succ {
+		for _, h := range g.succ[from] {
+			out = append(out, Edge{From: NodeID(from), To: h.to, Weight: h.w})
+		}
+	}
+	return out
+}
+
+// TotalNodeWeight sums all node weights.
+func (g *DAG) TotalNodeWeight() int64 {
+	var s int64
+	for _, w := range g.nodeW {
+		s += w
+	}
+	return s
+}
+
+// TotalEdgeWeight sums all edge weights.
+func (g *DAG) TotalEdgeWeight() int64 {
+	var s int64
+	for _, succ := range g.succ {
+		for _, h := range succ {
+			s += h.w
+		}
+	}
+	return s
+}
+
+// TopoOrder returns a topological order (Kahn's algorithm, smallest ID
+// first among ready nodes, so the order is deterministic) or an error if the
+// graph has a cycle.
+func (g *DAG) TopoOrder() ([]NodeID, error) {
+	n := g.Len()
+	indeg := make([]int, n)
+	for i := range indeg {
+		indeg[i] = len(g.pred[i])
+	}
+	// Min-ordered ready set via a simple binary heap over NodeIDs.
+	ready := &idHeap{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready.push(NodeID(i))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for ready.len() > 0 {
+		id := ready.pop()
+		order = append(order, id)
+		for _, h := range g.succ[id] {
+			indeg[h.to]--
+			if indeg[h.to] == 0 {
+				ready.push(h.to)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d nodes ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+// Validate returns an error if the graph contains a cycle.
+func (g *DAG) Validate() error {
+	_, err := g.TopoOrder()
+	return err
+}
+
+// Levels returns, for each node, the length of the longest path from any
+// root to it (roots are level 0), plus the number of levels. This is the
+// "depth" structure wavefront apps exhibit.
+func (g *DAG) Levels() ([]int, int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	lvl := make([]int, g.Len())
+	maxLvl := 0
+	for _, id := range order {
+		for _, h := range g.pred[id] {
+			if l := lvl[h.to] + 1; l > lvl[id] {
+				lvl[id] = l
+			}
+		}
+		if lvl[id] > maxLvl {
+			maxLvl = lvl[id]
+		}
+	}
+	if g.Len() == 0 {
+		return lvl, 0, nil
+	}
+	return lvl, maxLvl + 1, nil
+}
+
+// CriticalPathWeight returns the maximum, over all paths, of the sum of node
+// weights along the path — the lower bound on makespan with infinite cores.
+func (g *DAG) CriticalPathWeight() (int64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	finish := make([]int64, g.Len())
+	var best int64
+	for _, id := range order {
+		var start int64
+		for _, h := range g.pred[id] {
+			if finish[h.to] > start {
+				start = finish[h.to]
+			}
+		}
+		finish[id] = start + g.nodeW[id]
+		if finish[id] > best {
+			best = finish[id]
+		}
+	}
+	return best, nil
+}
+
+// WeaklyConnectedComponents labels each node with a component number
+// (0-based, in order of first appearance) and returns the labels and the
+// component count.
+func (g *DAG) WeaklyConnectedComponents() ([]int, int) {
+	n := g.Len()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	stack := make([]NodeID, 0, 64)
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		stack = append(stack[:0], NodeID(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range g.succ[v] {
+				if comp[h.to] == -1 {
+					comp[h.to] = next
+					stack = append(stack, h.to)
+				}
+			}
+			for _, h := range g.pred[v] {
+				if comp[h.to] == -1 {
+					comp[h.to] = next
+					stack = append(stack, h.to)
+				}
+			}
+		}
+		next++
+	}
+	return comp, next
+}
+
+// InducedSubgraph returns the subgraph on the given nodes (in the given
+// order: subgraph ID i corresponds to nodes[i]) together with the mapping
+// back to the original IDs. Edges with both endpoints inside are preserved.
+func (g *DAG) InducedSubgraph(nodes []NodeID) (*DAG, []NodeID) {
+	sub := NewWithCapacity(len(nodes))
+	toSub := make(map[NodeID]NodeID, len(nodes))
+	back := make([]NodeID, len(nodes))
+	for i, id := range nodes {
+		g.checkID(id)
+		if _, dup := toSub[id]; dup {
+			panic(fmt.Sprintf("graph: duplicate node %d in induced subgraph", id))
+		}
+		toSub[id] = NodeID(i)
+		back[i] = id
+		sub.AddNode(g.labels[id], g.nodeW[id])
+	}
+	for _, id := range nodes {
+		for _, h := range g.succ[id] {
+			if t, ok := toSub[h.to]; ok {
+				sub.AddEdge(toSub[id], t, h.w)
+			}
+		}
+	}
+	return sub, back
+}
+
+// TransitiveReduction removes every edge (u,v) for which another path
+// u -> ... -> v exists, keeping the DAG's reachability identical. Runs in
+// O(V·E) worst case; intended for analysis and visualization of window-sized
+// graphs, not for the streaming hot path.
+func (g *DAG) TransitiveReduction() (removed int, err error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	pos := make([]int, g.Len())
+	for i, id := range order {
+		pos[id] = i
+	}
+	reach := make([]map[NodeID]bool, g.Len())
+	// Process in reverse topological order so each node's reachable set is
+	// available when its predecessors need it.
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		var drop []NodeID
+		// Consider direct successors farthest-first (by topo position):
+		// an edge is redundant iff the target is reachable via another
+		// successor that precedes it topologically.
+		succs := append([]halfEdge(nil), g.succ[id]...)
+		sort.Slice(succs, func(a, b int) bool { return pos[succs[a].to] < pos[succs[b].to] })
+		r := make(map[NodeID]bool)
+		for _, h := range succs {
+			if r[h.to] {
+				drop = append(drop, h.to)
+				continue
+			}
+			r[h.to] = true
+			for v := range reach[h.to] {
+				r[v] = true
+			}
+		}
+		reach[id] = r
+		for _, to := range drop {
+			g.removeEdge(id, to)
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+func (g *DAG) removeEdge(from, to NodeID) {
+	if i, ok := findHalf(g.succ[from], to); ok {
+		g.succ[from] = append(g.succ[from][:i], g.succ[from][i+1:]...)
+		j, _ := findHalf(g.pred[to], from)
+		g.pred[to] = append(g.pred[to][:j], g.pred[to][j+1:]...)
+		g.nEdges--
+	}
+}
+
+func (g *DAG) checkID(id NodeID) {
+	if id < 0 || int(id) >= len(g.nodeW) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", id, len(g.nodeW)))
+	}
+}
+
+func findHalf(hs []halfEdge, to NodeID) (int, bool) {
+	lo, hi := 0, len(hs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if hs[mid].to < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(hs) && hs[lo].to == to {
+		return lo, true
+	}
+	return lo, false
+}
+
+func insertHalf(hs []halfEdge, h halfEdge) []halfEdge {
+	i, _ := findHalf(hs, h.to)
+	hs = append(hs, halfEdge{})
+	copy(hs[i+1:], hs[i:])
+	hs[i] = h
+	return hs
+}
+
+// idHeap is a minimal binary min-heap of NodeIDs for deterministic Kahn.
+type idHeap struct{ xs []NodeID }
+
+func (h *idHeap) len() int { return len(h.xs) }
+
+func (h *idHeap) push(id NodeID) {
+	h.xs = append(h.xs, id)
+	i := len(h.xs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.xs[p] <= h.xs[i] {
+			break
+		}
+		h.xs[p], h.xs[i] = h.xs[i], h.xs[p]
+		i = p
+	}
+}
+
+func (h *idHeap) pop() NodeID {
+	top := h.xs[0]
+	last := len(h.xs) - 1
+	h.xs[0] = h.xs[last]
+	h.xs = h.xs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.xs[l] < h.xs[small] {
+			small = l
+		}
+		if r < last && h.xs[r] < h.xs[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.xs[i], h.xs[small] = h.xs[small], h.xs[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,403 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"numadag/internal/xrand"
+)
+
+// diamond builds a <- {b, c} <- d ... actually a->b, a->c, b->d, c->d.
+func diamond(t *testing.T) (*DAG, [4]NodeID) {
+	t.Helper()
+	g := New()
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 2)
+	c := g.AddNode("c", 3)
+	d := g.AddNode("d", 4)
+	g.AddEdge(a, b, 10)
+	g.AddEdge(a, c, 20)
+	g.AddEdge(b, d, 30)
+	g.AddEdge(c, d, 40)
+	return g, [4]NodeID{a, b, c, d}
+}
+
+func TestAddNodesAndEdges(t *testing.T) {
+	g, ids := diamond(t)
+	if g.Len() != 4 || g.Edges() != 4 {
+		t.Fatalf("len=%d edges=%d, want 4/4", g.Len(), g.Edges())
+	}
+	if !g.HasEdge(ids[0], ids[1]) || g.HasEdge(ids[1], ids[0]) {
+		t.Fatal("edge direction wrong")
+	}
+	if w := g.EdgeWeight(ids[2], ids[3]); w != 40 {
+		t.Fatalf("edge weight = %d, want 40", w)
+	}
+	if w := g.EdgeWeight(ids[3], ids[0]); w != 0 {
+		t.Fatalf("absent edge weight = %d, want 0", w)
+	}
+	if g.NodeWeight(ids[3]) != 4 || g.Label(ids[3]) != "d" {
+		t.Fatal("node attributes lost")
+	}
+}
+
+func TestParallelEdgeAccumulates(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a", 1), g.AddNode("b", 1)
+	g.AddEdge(a, b, 5)
+	g.AddEdge(a, b, 7)
+	if g.Edges() != 1 {
+		t.Fatalf("parallel edge created a second edge")
+	}
+	if w := g.EdgeWeight(a, b); w != 12 {
+		t.Fatalf("accumulated weight = %d, want 12", w)
+	}
+	// Predecessor side must agree.
+	g.Preds(b, func(from NodeID, w int64) {
+		if from != a || w != 12 {
+			t.Fatalf("pred edge = (%d, %d)", from, w)
+		}
+	})
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-loop did not panic")
+		}
+	}()
+	g.AddEdge(a, a, 1)
+}
+
+func TestNegativeWeightsPanic(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a", 1), g.AddNode("b", 1)
+	for _, f := range []func(){
+		func() { g.AddNode("bad", -1) },
+		func() { g.AddEdge(a, b, -1) },
+		func() { g.SetNodeWeight(a, -2) },
+	} {
+		func() {
+			defer func() { _ = recover() }()
+			f()
+			t.Error("negative weight accepted")
+		}()
+	}
+}
+
+func TestDegreesRootsLeaves(t *testing.T) {
+	g, ids := diamond(t)
+	if g.InDegree(ids[0]) != 0 || g.OutDegree(ids[0]) != 2 {
+		t.Fatal("root degrees wrong")
+	}
+	if g.InDegree(ids[3]) != 2 || g.OutDegree(ids[3]) != 0 {
+		t.Fatal("leaf degrees wrong")
+	}
+	roots, leaves := g.Roots(), g.Leaves()
+	if len(roots) != 1 || roots[0] != ids[0] {
+		t.Fatalf("roots = %v", roots)
+	}
+	if len(leaves) != 1 || leaves[0] != ids[3] {
+		t.Fatalf("leaves = %v", leaves)
+	}
+}
+
+func TestTopoOrderDiamond(t *testing.T) {
+	g, _ := diamond(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[NodeID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range g.EdgeList() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("edge %v violates topo order %v", e, order)
+		}
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	g := New()
+	a, b, c := g.AddNode("a", 1), g.AddNode("b", 1), g.AddNode("c", 1)
+	g.AddEdge(a, b, 1)
+	g.AddEdge(b, c, 1)
+	g.AddEdge(c, a, 1) // cycle
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate missed cycle")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g, ids := diamond(t)
+	lvl, n, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("levels = %d, want 3", n)
+	}
+	want := map[NodeID]int{ids[0]: 0, ids[1]: 1, ids[2]: 1, ids[3]: 2}
+	for id, l := range want {
+		if lvl[id] != l {
+			t.Errorf("level[%d] = %d, want %d", id, lvl[id], l)
+		}
+	}
+}
+
+func TestLevelsEmptyGraph(t *testing.T) {
+	g := New()
+	_, n, err := g.Levels()
+	if err != nil || n != 0 {
+		t.Fatalf("empty graph levels = %d, err %v", n, err)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g, _ := diamond(t)
+	// Longest weighted path: a(1) -> c(3) -> d(4) = 8.
+	cp, err := g.CriticalPathWeight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 8 {
+		t.Fatalf("critical path = %d, want 8", cp)
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a", 1), g.AddNode("b", 1)
+	c, d := g.AddNode("c", 1), g.AddNode("d", 1)
+	_ = g.AddNode("lone", 1)
+	g.AddEdge(a, b, 1)
+	g.AddEdge(c, d, 1)
+	comp, n := g.WeaklyConnectedComponents()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[a] != comp[b] || comp[c] != comp[d] || comp[a] == comp[c] {
+		t.Fatalf("component labels wrong: %v", comp)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g, ids := diamond(t)
+	sub, back := g.InducedSubgraph([]NodeID{ids[0], ids[1], ids[3]})
+	if sub.Len() != 3 {
+		t.Fatalf("subgraph len = %d", sub.Len())
+	}
+	// Edges inside: a->b, b->d. Edge via c is dropped.
+	if sub.Edges() != 2 {
+		t.Fatalf("subgraph edges = %d, want 2", sub.Edges())
+	}
+	if back[0] != ids[0] || back[1] != ids[1] || back[2] != ids[3] {
+		t.Fatalf("back mapping = %v", back)
+	}
+	if sub.EdgeWeight(0, 1) != 10 || sub.EdgeWeight(1, 2) != 30 {
+		t.Fatal("subgraph edge weights wrong")
+	}
+}
+
+func TestInducedSubgraphDuplicatePanics(t *testing.T) {
+	g, ids := diamond(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate node did not panic")
+		}
+	}()
+	g.InducedSubgraph([]NodeID{ids[0], ids[0]})
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	g := New()
+	a, b, c := g.AddNode("a", 1), g.AddNode("b", 1), g.AddNode("c", 1)
+	g.AddEdge(a, b, 1)
+	g.AddEdge(b, c, 1)
+	g.AddEdge(a, c, 1) // redundant
+	removed, err := g.TransitiveReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed %d edges, want 1", removed)
+	}
+	if g.HasEdge(a, c) {
+		t.Fatal("redundant edge survived")
+	}
+	if !g.HasEdge(a, b) || !g.HasEdge(b, c) {
+		t.Fatal("necessary edge removed")
+	}
+}
+
+func TestTransitiveReductionDiamondKeepsAll(t *testing.T) {
+	g, _ := diamond(t)
+	removed, err := g.TransitiveReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Fatalf("diamond has no redundant edges, removed %d", removed)
+	}
+}
+
+func TestTotalWeights(t *testing.T) {
+	g, _ := diamond(t)
+	if g.TotalNodeWeight() != 10 {
+		t.Fatalf("TotalNodeWeight = %d", g.TotalNodeWeight())
+	}
+	if g.TotalEdgeWeight() != 100 {
+		t.Fatalf("TotalEdgeWeight = %d", g.TotalEdgeWeight())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	g := New()
+	g.AddNode("a", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range id did not panic")
+		}
+	}()
+	g.AddEdge(0, 5, 1)
+}
+
+// randomDAG builds a random DAG with edges only from lower to higher IDs
+// (guaranteed acyclic).
+func randomDAG(r *xrand.Rand, n, extraEdges int) *DAG {
+	g := NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		g.AddNode("", int64(r.Intn(100)+1))
+	}
+	for i := 0; i < extraEdges; i++ {
+		a := r.Intn(n)
+		b := r.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		g.AddEdge(NodeID(a), NodeID(b), int64(r.Intn(1000)+1))
+	}
+	return g
+}
+
+// Property: topological order respects all edges on random DAGs.
+func TestPropertyTopoOrderRespectsEdges(t *testing.T) {
+	f := func(seed uint64, n8 uint8, e8 uint8) bool {
+		n := int(n8%60) + 2
+		g := randomDAG(xrand.New(seed), n, int(e8))
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, n)
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, e := range g.EdgeList() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transitive reduction preserves reachability.
+func TestPropertyTransitiveReductionPreservesReachability(t *testing.T) {
+	reach := func(g *DAG) map[[2]NodeID]bool {
+		m := make(map[[2]NodeID]bool)
+		for s := 0; s < g.Len(); s++ {
+			seen := make([]bool, g.Len())
+			stack := []NodeID{NodeID(s)}
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				g.Succs(v, func(to NodeID, _ int64) {
+					if !seen[to] {
+						seen[to] = true
+						stack = append(stack, to)
+					}
+				})
+			}
+			for v := 0; v < g.Len(); v++ {
+				if seen[v] {
+					m[[2]NodeID{NodeID(s), NodeID(v)}] = true
+				}
+			}
+		}
+		return m
+	}
+	f := func(seed uint64) bool {
+		g := randomDAG(xrand.New(seed), 25, 80)
+		before := reach(g)
+		if _, err := g.TransitiveReduction(); err != nil {
+			return false
+		}
+		after := reach(g)
+		if len(before) != len(after) {
+			return false
+		}
+		for k := range before {
+			if !after[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: induced subgraph over all nodes is the same graph.
+func TestPropertyInducedSubgraphIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomDAG(xrand.New(seed), 30, 60)
+		all := make([]NodeID, g.Len())
+		for i := range all {
+			all[i] = NodeID(i)
+		}
+		sub, _ := g.InducedSubgraph(all)
+		if sub.Len() != g.Len() || sub.Edges() != g.Edges() {
+			return false
+		}
+		return sub.TotalEdgeWeight() == g.TotalEdgeWeight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAddEdge(b *testing.B) {
+	g := NewWithCapacity(b.N + 1)
+	for i := 0; i <= b.N; i++ {
+		g.AddNode("", 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1), 64)
+	}
+}
+
+func BenchmarkTopoOrder10k(b *testing.B) {
+	g := randomDAG(xrand.New(1), 10000, 30000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TopoOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

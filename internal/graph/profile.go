@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"fmt"
+)
+
+// Profile summarizes a DAG's parallelism structure: how much concurrent
+// work each dependence level exposes, and the bounds that matter for
+// scheduling quality analysis (average parallelism, critical path).
+type Profile struct {
+	Nodes  int
+	Edges  int
+	Levels int
+	// WidthByLevel is the node count per dependence level.
+	WidthByLevel []int
+	// MaxWidth is the widest level (peak exposable parallelism).
+	MaxWidth int
+	// TotalWork and CriticalWork are the node-weight sums of the whole
+	// graph and of the heaviest path; their ratio is the average
+	// parallelism an ideal machine could exploit.
+	TotalWork    int64
+	CriticalWork int64
+}
+
+// AvgParallelism returns TotalWork / CriticalWork (1.0 for a pure chain).
+func (p Profile) AvgParallelism() float64 {
+	if p.CriticalWork == 0 {
+		return 0
+	}
+	return float64(p.TotalWork) / float64(p.CriticalWork)
+}
+
+// String renders a one-line summary.
+func (p Profile) String() string {
+	return fmt.Sprintf("%d nodes, %d edges, %d levels, max width %d, avg parallelism %.1f",
+		p.Nodes, p.Edges, p.Levels, p.MaxWidth, p.AvgParallelism())
+}
+
+// ComputeProfile analyzes the DAG. It fails only on cyclic input.
+func (g *DAG) ComputeProfile() (Profile, error) {
+	lvl, nLevels, err := g.Levels()
+	if err != nil {
+		return Profile{}, err
+	}
+	p := Profile{
+		Nodes:        g.Len(),
+		Edges:        g.Edges(),
+		Levels:       nLevels,
+		WidthByLevel: make([]int, nLevels),
+		TotalWork:    g.TotalNodeWeight(),
+	}
+	for _, l := range lvl {
+		p.WidthByLevel[l]++
+		if p.WidthByLevel[l] > p.MaxWidth {
+			p.MaxWidth = p.WidthByLevel[l]
+		}
+	}
+	p.CriticalWork, err = g.CriticalPathWeight()
+	if err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfileDiamond(t *testing.T) {
+	g, _ := diamond(t)
+	p, err := g.ComputeProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes != 4 || p.Edges != 4 || p.Levels != 3 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if p.MaxWidth != 2 {
+		t.Fatalf("max width = %d, want 2 (b and c)", p.MaxWidth)
+	}
+	if p.TotalWork != 10 || p.CriticalWork != 8 {
+		t.Fatalf("work = %d/%d, want 10/8", p.TotalWork, p.CriticalWork)
+	}
+	if ap := p.AvgParallelism(); ap != 1.25 {
+		t.Fatalf("avg parallelism = %v, want 1.25", ap)
+	}
+	if !strings.Contains(p.String(), "4 nodes") {
+		t.Fatalf("String() = %q", p.String())
+	}
+}
+
+func TestProfileChainVsFan(t *testing.T) {
+	chain := New()
+	prev := chain.AddNode("", 5)
+	for i := 0; i < 9; i++ {
+		n := chain.AddNode("", 5)
+		chain.AddEdge(prev, n, 1)
+		prev = n
+	}
+	pc, err := chain.ComputeProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.AvgParallelism() != 1.0 {
+		t.Fatalf("chain parallelism = %v", pc.AvgParallelism())
+	}
+	if pc.MaxWidth != 1 || pc.Levels != 10 {
+		t.Fatalf("chain profile = %+v", pc)
+	}
+
+	fan := New()
+	root := fan.AddNode("", 5)
+	for i := 0; i < 9; i++ {
+		n := fan.AddNode("", 5)
+		fan.AddEdge(root, n, 1)
+	}
+	pf, err := fan.ComputeProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.MaxWidth != 9 || pf.Levels != 2 {
+		t.Fatalf("fan profile = %+v", pf)
+	}
+	if pf.AvgParallelism() != 5.0 {
+		t.Fatalf("fan parallelism = %v, want 50/10", pf.AvgParallelism())
+	}
+}
+
+func TestProfileCycleError(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("", 1), g.AddNode("", 1)
+	g.AddEdge(a, b, 1)
+	g.AddEdge(b, a, 1)
+	if _, err := g.ComputeProfile(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestProfileEmpty(t *testing.T) {
+	p, err := New().ComputeProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes != 0 || p.AvgParallelism() != 0 {
+		t.Fatalf("empty profile = %+v", p)
+	}
+}

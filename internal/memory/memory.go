@@ -1,0 +1,282 @@
+// Package memory models NUMA page placement for the simulated machine.
+//
+// Applications declare named Regions (a tile of a matrix, a chunk of a
+// stream array). A region is a run of pages; each page has a home socket or
+// is still unallocated. The placement policies mirror what the paper's
+// runtimes rely on:
+//
+//   - FirstTouch: Linux's default — a page is homed on the socket of the
+//     first core that writes it.
+//   - Interleave: pages round-robin across sockets (numactl --interleave).
+//   - Home: explicit placement on one socket (numactl --membind, or the
+//     expert programmer's distribution).
+//   - Deferred: the allocation is postponed until the runtime knows where
+//     the producing task will run (Drebes et al.'s deferred allocation,
+//     the cornerstone of LAS); the first Touch then homes all pages at once.
+//
+// The Manager tracks per-socket residency so schedulers can ask "where does
+// this task's data live?" in O(sockets).
+package memory
+
+import (
+	"fmt"
+)
+
+// DefaultPageSize is the simulated page granularity (4 KiB, as on the
+// paper's Linux testbed).
+const DefaultPageSize = 4096
+
+// Placement selects how a region's pages are homed.
+type Placement int
+
+const (
+	// Deferred leaves pages unallocated until first touch; the touching
+	// socket becomes the home of every still-unallocated page.
+	Deferred Placement = iota
+	// FirstTouch behaves like Deferred in the simulator (pages are homed on
+	// first touch); it exists as a distinct label because policies treat
+	// "OS default" and "runtime-deferred" allocations differently in
+	// statistics.
+	FirstTouch
+	// Interleave homes page i on socket i mod sockets at creation.
+	Interleave
+	// Home homes every page on a fixed socket at creation.
+	Home
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case Deferred:
+		return "deferred"
+	case FirstTouch:
+		return "first-touch"
+	case Interleave:
+		return "interleave"
+	case Home:
+		return "home"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+// Unallocated marks a page with no home yet.
+const Unallocated = int16(-1)
+
+// Region is a contiguous, named allocation whose pages may live on
+// different sockets.
+type Region struct {
+	id    int
+	name  string
+	bytes int64
+	// homes[i] is the socket of page i, or Unallocated.
+	homes     []int16
+	pageSize  int64
+	placement Placement
+	mgr       *Manager
+}
+
+// ID returns the region's dense identifier within its Manager.
+func (r *Region) ID() int { return r.id }
+
+// Name returns the diagnostic name.
+func (r *Region) Name() string { return r.name }
+
+// Bytes returns the region size.
+func (r *Region) Bytes() int64 { return r.bytes }
+
+// Pages returns the number of pages.
+func (r *Region) Pages() int { return len(r.homes) }
+
+// Placement returns the placement policy the region was created with.
+func (r *Region) Placement() Placement { return r.placement }
+
+// Allocated reports whether every page has a home.
+func (r *Region) Allocated() bool {
+	for _, h := range r.homes {
+		if h == Unallocated {
+			return false
+		}
+	}
+	return true
+}
+
+// HomeOfPage returns the home socket of page i, or Unallocated.
+func (r *Region) HomeOfPage(i int) int16 { return r.homes[i] }
+
+// BytesOnSocket returns, per socket, the bytes of this region homed there.
+// Unallocated bytes are not counted.
+func (r *Region) BytesOnSocket(sockets int) []int64 {
+	out := make([]int64, sockets)
+	for i, h := range r.homes {
+		if h == Unallocated {
+			continue
+		}
+		out[h] += r.pageBytes(i)
+	}
+	return out
+}
+
+// AllocatedBytes returns the bytes with a home.
+func (r *Region) AllocatedBytes() int64 {
+	var n int64
+	for i, h := range r.homes {
+		if h != Unallocated {
+			n += r.pageBytes(i)
+		}
+	}
+	return n
+}
+
+// pageBytes returns the size of page i (the last page may be partial, and
+// the placeholder page of a zero-byte region is empty).
+func (r *Region) pageBytes(i int) int64 {
+	if r.bytes == 0 {
+		return 0
+	}
+	if i == len(r.homes)-1 {
+		if rem := r.bytes % r.pageSize; rem != 0 {
+			return rem
+		}
+	}
+	return r.pageSize
+}
+
+// Touch homes every still-unallocated page of the region on the given
+// socket (first-touch semantics) and returns the number of bytes newly
+// homed. Touching a fully allocated region is a cheap no-op.
+func (r *Region) Touch(socket int) int64 {
+	if socket < 0 || socket >= r.mgr.sockets {
+		panic(fmt.Sprintf("memory: touch on socket %d of %d", socket, r.mgr.sockets))
+	}
+	var newly int64
+	for i, h := range r.homes {
+		if h == Unallocated {
+			r.homes[i] = int16(socket)
+			newly += r.pageBytes(i)
+		}
+	}
+	return newly
+}
+
+// Migrate re-homes every page of the region to the given socket and returns
+// the bytes moved (pages already there are not counted). This is the
+// page-migration primitive OS-level techniques use; the paper's policies
+// don't migrate, but ablations can.
+func (r *Region) Migrate(socket int) int64 {
+	if socket < 0 || socket >= r.mgr.sockets {
+		panic(fmt.Sprintf("memory: migrate to socket %d of %d", socket, r.mgr.sockets))
+	}
+	var moved int64
+	for i, h := range r.homes {
+		if h != int16(socket) {
+			if h != Unallocated {
+				moved += r.pageBytes(i)
+			}
+			r.homes[i] = int16(socket)
+		}
+	}
+	return moved
+}
+
+// Manager owns the regions of one simulated application run.
+type Manager struct {
+	sockets  int
+	pageSize int64
+	regions  []*Region
+	// perSocket[s] is the total bytes currently homed on socket s,
+	// maintained incrementally... (kept simple: recomputed on demand;
+	// region counts are small relative to accesses).
+}
+
+// NewManager creates a Manager for a machine with the given socket count
+// and the default page size.
+func NewManager(sockets int) *Manager {
+	return NewManagerPageSize(sockets, DefaultPageSize)
+}
+
+// NewManagerPageSize creates a Manager with an explicit page size.
+func NewManagerPageSize(sockets int, pageSize int64) *Manager {
+	if sockets <= 0 {
+		panic(fmt.Sprintf("memory: %d sockets", sockets))
+	}
+	if pageSize <= 0 {
+		panic(fmt.Sprintf("memory: page size %d", pageSize))
+	}
+	return &Manager{sockets: sockets, pageSize: pageSize}
+}
+
+// Sockets returns the socket count the manager was created with.
+func (m *Manager) Sockets() int { return m.sockets }
+
+// PageSize returns the page granularity.
+func (m *Manager) PageSize() int64 { return m.pageSize }
+
+// Regions returns all regions in creation order. The returned slice is the
+// manager's own; callers must not mutate it.
+func (m *Manager) Regions() []*Region { return m.regions }
+
+// Alloc creates a region of the given size under the placement policy.
+// homeSocket is only used by Home (pass 0 otherwise). Zero-byte regions are
+// legal and occupy one (empty) page so they still have an identity.
+func (m *Manager) Alloc(name string, bytes int64, placement Placement, homeSocket int) *Region {
+	if bytes < 0 {
+		panic(fmt.Sprintf("memory: alloc %q of %d bytes", name, bytes))
+	}
+	nPages := int((bytes + m.pageSize - 1) / m.pageSize)
+	if nPages == 0 {
+		nPages = 1
+	}
+	r := &Region{
+		id:        len(m.regions),
+		name:      name,
+		bytes:     bytes,
+		homes:     make([]int16, nPages),
+		pageSize:  m.pageSize,
+		placement: placement,
+		mgr:       m,
+	}
+	switch placement {
+	case Deferred, FirstTouch:
+		for i := range r.homes {
+			r.homes[i] = Unallocated
+		}
+	case Interleave:
+		for i := range r.homes {
+			r.homes[i] = int16(i % m.sockets)
+		}
+	case Home:
+		if homeSocket < 0 || homeSocket >= m.sockets {
+			panic(fmt.Sprintf("memory: home socket %d of %d", homeSocket, m.sockets))
+		}
+		for i := range r.homes {
+			r.homes[i] = int16(homeSocket)
+		}
+	default:
+		panic(fmt.Sprintf("memory: unknown placement %v", placement))
+	}
+	m.regions = append(m.regions, r)
+	return r
+}
+
+// TotalBytesOnSocket sums the homed bytes of every region per socket.
+func (m *Manager) TotalBytesOnSocket() []int64 {
+	out := make([]int64, m.sockets)
+	for _, r := range m.regions {
+		for i, h := range r.homes {
+			if h != Unallocated {
+				out[h] += r.pageBytes(i)
+			}
+		}
+	}
+	return out
+}
+
+// UnallocatedBytes returns the total bytes still without a home.
+func (m *Manager) UnallocatedBytes() int64 {
+	var n int64
+	for _, r := range m.regions {
+		n += r.bytes - r.AllocatedBytes()
+	}
+	return n
+}

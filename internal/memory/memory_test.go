@@ -1,0 +1,242 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeferredStartsUnallocated(t *testing.T) {
+	m := NewManager(4)
+	r := m.Alloc("a", 64<<10, Deferred, 0)
+	if r.Allocated() {
+		t.Fatal("deferred region born allocated")
+	}
+	if got := r.AllocatedBytes(); got != 0 {
+		t.Fatalf("AllocatedBytes = %d, want 0", got)
+	}
+	if m.UnallocatedBytes() != 64<<10 {
+		t.Fatalf("UnallocatedBytes = %d", m.UnallocatedBytes())
+	}
+}
+
+func TestTouchHomesAllPages(t *testing.T) {
+	m := NewManager(4)
+	r := m.Alloc("a", 64<<10, Deferred, 0)
+	newly := r.Touch(2)
+	if newly != 64<<10 {
+		t.Fatalf("Touch homed %d bytes, want all %d", newly, 64<<10)
+	}
+	if !r.Allocated() {
+		t.Fatal("region not allocated after touch")
+	}
+	by := r.BytesOnSocket(4)
+	if by[2] != 64<<10 {
+		t.Fatalf("BytesOnSocket = %v", by)
+	}
+	// Second touch is a no-op.
+	if again := r.Touch(1); again != 0 {
+		t.Fatalf("second Touch homed %d bytes", again)
+	}
+	if r.BytesOnSocket(4)[1] != 0 {
+		t.Fatal("second touch moved pages")
+	}
+}
+
+func TestInterleaveSpreadsPages(t *testing.T) {
+	m := NewManager(4)
+	r := m.Alloc("a", 16*DefaultPageSize, Interleave, 0)
+	by := r.BytesOnSocket(4)
+	for s, b := range by {
+		if b != 4*DefaultPageSize {
+			t.Fatalf("socket %d has %d bytes, want %d (got %v)", s, b, 4*DefaultPageSize, by)
+		}
+	}
+}
+
+func TestHomePlacement(t *testing.T) {
+	m := NewManager(8)
+	r := m.Alloc("a", 10*DefaultPageSize, Home, 5)
+	by := r.BytesOnSocket(8)
+	if by[5] != 10*DefaultPageSize {
+		t.Fatalf("home placement scattered: %v", by)
+	}
+	if !r.Allocated() {
+		t.Fatal("home region not allocated")
+	}
+}
+
+func TestPartialLastPage(t *testing.T) {
+	m := NewManager(2)
+	r := m.Alloc("a", DefaultPageSize+100, Home, 1)
+	if r.Pages() != 2 {
+		t.Fatalf("pages = %d, want 2", r.Pages())
+	}
+	if got := r.BytesOnSocket(2)[1]; got != DefaultPageSize+100 {
+		t.Fatalf("bytes = %d, want %d", got, DefaultPageSize+100)
+	}
+}
+
+func TestZeroByteRegion(t *testing.T) {
+	m := NewManager(2)
+	r := m.Alloc("empty", 0, Deferred, 0)
+	if r.Pages() != 1 {
+		t.Fatalf("zero-byte region has %d pages, want 1", r.Pages())
+	}
+	if r.Touch(0) != 0 {
+		t.Fatal("touching empty region reported bytes")
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	m := NewManager(4)
+	r := m.Alloc("a", 8*DefaultPageSize, Home, 0)
+	moved := r.Migrate(3)
+	if moved != 8*DefaultPageSize {
+		t.Fatalf("Migrate moved %d bytes", moved)
+	}
+	if r.BytesOnSocket(4)[3] != 8*DefaultPageSize {
+		t.Fatal("pages not re-homed")
+	}
+	if again := r.Migrate(3); again != 0 {
+		t.Fatalf("idempotent migrate moved %d bytes", again)
+	}
+}
+
+func TestMigrateUnallocatedPagesNotCounted(t *testing.T) {
+	m := NewManager(4)
+	r := m.Alloc("a", 8*DefaultPageSize, Deferred, 0)
+	if moved := r.Migrate(1); moved != 0 {
+		t.Fatalf("migrating unallocated pages reported %d bytes moved", moved)
+	}
+	if !r.Allocated() {
+		t.Fatal("migrate should home pages")
+	}
+}
+
+func TestTotalBytesOnSocket(t *testing.T) {
+	m := NewManager(2)
+	m.Alloc("a", 4*DefaultPageSize, Home, 0)
+	m.Alloc("b", 6*DefaultPageSize, Home, 1)
+	c := m.Alloc("c", 2*DefaultPageSize, Deferred, 0)
+	c.Touch(1)
+	got := m.TotalBytesOnSocket()
+	if got[0] != 4*DefaultPageSize || got[1] != 8*DefaultPageSize {
+		t.Fatalf("TotalBytesOnSocket = %v", got)
+	}
+}
+
+func TestAllocPanics(t *testing.T) {
+	m := NewManager(2)
+	cases := []func(){
+		func() { m.Alloc("neg", -1, Deferred, 0) },
+		func() { m.Alloc("badhome", 10, Home, 2) },
+		func() { m.Alloc("badhome2", 10, Home, -1) },
+		func() { m.Alloc("badplacement", 10, Placement(99), 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTouchOutOfRangePanics(t *testing.T) {
+	m := NewManager(2)
+	r := m.Alloc("a", 10, Deferred, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("touch on socket 9 did not panic")
+		}
+	}()
+	r.Touch(9)
+}
+
+func TestManagerConstructionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewManager(0) },
+		func() { NewManagerPageSize(2, 0) },
+	} {
+		func() {
+			defer func() { _ = recover() }()
+			f()
+			t.Error("invalid manager construction did not panic")
+		}()
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	for p, want := range map[Placement]string{
+		Deferred:      "deferred",
+		FirstTouch:    "first-touch",
+		Interleave:    "interleave",
+		Home:          "home",
+		Placement(42): "placement(42)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestRegionIdentity(t *testing.T) {
+	m := NewManager(2)
+	a := m.Alloc("a", 10, Deferred, 0)
+	b := m.Alloc("b", 10, Deferred, 0)
+	if a.ID() == b.ID() {
+		t.Fatal("regions share an ID")
+	}
+	if a.Name() != "a" || b.Name() != "b" {
+		t.Fatal("names lost")
+	}
+	if len(m.Regions()) != 2 {
+		t.Fatalf("manager tracks %d regions", len(m.Regions()))
+	}
+}
+
+// Property: for any size and placement, the sum of per-socket bytes plus
+// unallocated bytes equals the region size.
+func TestPropertyBytesConserved(t *testing.T) {
+	f := func(kb uint16, placementSel uint8, touchSocket uint8) bool {
+		m := NewManager(8)
+		bytes := int64(kb%512) * 129 // odd sizes, partial pages
+		placements := []Placement{Deferred, FirstTouch, Interleave, Home}
+		p := placements[int(placementSel)%len(placements)]
+		r := m.Alloc("x", bytes, p, 3)
+		if touchSocket%2 == 0 {
+			r.Touch(int(touchSocket) % 8)
+		}
+		var homed int64
+		for _, b := range r.BytesOnSocket(8) {
+			homed += b
+		}
+		return homed == r.AllocatedBytes() && homed+(r.Bytes()-r.AllocatedBytes()) == bytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleave balance — no socket holds more than ceil(pages/sockets)
+// pages worth of bytes.
+func TestPropertyInterleaveBalanced(t *testing.T) {
+	f := func(pages uint8) bool {
+		m := NewManager(4)
+		n := int64(pages%64) + 1
+		r := m.Alloc("x", n*DefaultPageSize, Interleave, 0)
+		maxPages := (n + 3) / 4
+		for _, b := range r.BytesOnSocket(4) {
+			if b > maxPages*DefaultPageSize {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

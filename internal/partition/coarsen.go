@@ -1,0 +1,142 @@
+package partition
+
+import (
+	"numadag/internal/xrand"
+)
+
+// MatchingKind selects the coarsening matching heuristic.
+type MatchingKind int
+
+const (
+	// HeavyEdgeMatching visits vertices in random order and matches each
+	// with its unmatched neighbor of maximum edge weight — the standard
+	// multilevel choice: heavy edges disappear into coarse vertices so the
+	// coarse cut approximates the fine cut well.
+	HeavyEdgeMatching MatchingKind = iota
+	// RandomMatching matches each vertex with a uniformly random unmatched
+	// neighbor. Kept as an ablation baseline.
+	RandomMatching
+)
+
+// String implements fmt.Stringer.
+func (m MatchingKind) String() string {
+	switch m {
+	case HeavyEdgeMatching:
+		return "heavy-edge"
+	case RandomMatching:
+		return "random"
+	default:
+		return "unknown-matching"
+	}
+}
+
+// level records one coarsening step: the coarse graph plus the fine->coarse
+// vertex map needed to project partitions back.
+type level struct {
+	fine   *Graph
+	coarse *Graph
+	// cmap[fineVertex] = coarse vertex
+	cmap []int32
+	// fixed part per coarse vertex (-1 free), propagated from fine.
+	coarseFixed []int32
+}
+
+// coarsen contracts a matching of g into a coarser graph. fixed[v] >= 0 pins
+// v to a part; vertices pinned to different parts are never matched
+// together (their edge cannot be hidden — it may be cut). Returns nil when
+// the matching would not shrink the graph meaningfully (fewer than 10%
+// contractions), signalling the driver to stop coarsening.
+func coarsen(g *Graph, fixed []int32, kind MatchingKind, rng *xrand.Rand) *level {
+	n := g.Len()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	matched := 0
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		best := -1
+		var bestW int64 = -1
+		g.Neighbors(v, func(u int, w int64) {
+			if match[u] != -1 {
+				return
+			}
+			if fixed != nil && fixed[v] >= 0 && fixed[u] >= 0 && fixed[v] != fixed[u] {
+				return
+			}
+			switch kind {
+			case HeavyEdgeMatching:
+				if w > bestW {
+					best, bestW = u, w
+				}
+			case RandomMatching:
+				// Reservoir-sample a uniformly random eligible neighbor.
+				bestW++
+				if rng.Intn(int(bestW)+1) == 0 {
+					best = u
+				}
+			}
+		})
+		if best >= 0 {
+			match[v] = int32(best)
+			match[best] = int32(v)
+			matched++
+		}
+	}
+	if matched < n/10 {
+		return nil // diminishing returns; stop the multilevel descent
+	}
+	// Build coarse ids: matched pairs collapse, singletons carry over.
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		if cmap[v] != -1 {
+			continue
+		}
+		cmap[v] = next
+		if m := match[v]; m != -1 {
+			cmap[m] = next
+		}
+		next++
+	}
+	coarse := NewGraph(int(next))
+	var coarseFixed []int32
+	if fixed != nil {
+		coarseFixed = make([]int32, next)
+		for i := range coarseFixed {
+			coarseFixed[i] = -1
+		}
+	}
+	for v := 0; v < n; v++ {
+		cv := cmap[v]
+		coarse.nw[cv] += g.nw[v]
+		if fixed != nil && fixed[v] >= 0 {
+			coarseFixed[cv] = fixed[v]
+		}
+	}
+	for v := 0; v < n; v++ {
+		cv := cmap[v]
+		g.Neighbors(v, func(u int, w int64) {
+			cu := cmap[u]
+			if cu != cv && v < u {
+				coarse.AddEdge(int(cv), int(cu), w)
+			}
+		})
+	}
+	return &level{fine: g, coarse: coarse, cmap: cmap, coarseFixed: coarseFixed}
+}
+
+// project lifts a coarse partition back to the fine graph of the level.
+func (l *level) project(coarsePart []int32) []int32 {
+	fine := make([]int32, l.fine.Len())
+	for v := range fine {
+		fine[v] = coarsePart[l.cmap[v]]
+	}
+	return fine
+}

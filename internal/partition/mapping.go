@@ -1,0 +1,235 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"numadag/internal/xrand"
+)
+
+// Arch describes the target architecture for static mapping: a set of
+// sockets with a symmetric hop-distance matrix (and optionally non-uniform
+// compute capacity per socket).
+type Arch struct {
+	// Dist[i][j] is the interconnect distance between sockets i and j.
+	Dist [][]int
+	// Capacity optionally weights sockets (nil = uniform). Mapping gives a
+	// socket a share of vertex weight proportional to its capacity.
+	Capacity []float64
+}
+
+// NewUniformArch returns a flat architecture of n equidistant sockets.
+func NewUniformArch(n int) *Arch {
+	d := make([][]int, n)
+	for i := range d {
+		d[i] = make([]int, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = 1
+			}
+		}
+	}
+	return &Arch{Dist: d}
+}
+
+// Sockets returns the socket count.
+func (a *Arch) Sockets() int { return len(a.Dist) }
+
+func (a *Arch) validate() error {
+	n := len(a.Dist)
+	if n == 0 {
+		return fmt.Errorf("partition: empty architecture")
+	}
+	for i, row := range a.Dist {
+		if len(row) != n {
+			return fmt.Errorf("partition: arch row %d has %d entries", i, len(row))
+		}
+		if row[i] != 0 {
+			return fmt.Errorf("partition: arch self-distance non-zero")
+		}
+		for j, d := range row {
+			if d < 0 || a.Dist[j][i] != d {
+				return fmt.Errorf("partition: arch distance (%d,%d) invalid", i, j)
+			}
+		}
+	}
+	if a.Capacity != nil && len(a.Capacity) != n {
+		return fmt.Errorf("partition: %d capacities for %d sockets", len(a.Capacity), n)
+	}
+	return nil
+}
+
+// MapOnto computes a static mapping of g's vertices onto the architecture's
+// sockets by dual recursive bipartitioning: the socket set is recursively
+// split into the two most distant groups, and the (sub)graph is bisected
+// alongside with target weights proportional to group capacity. The effect
+// is that the graph's weakest cuts are assigned to the architecture's most
+// expensive (most distant) boundaries — SCOTCH's static mapping strategy.
+//
+// opt.Parts and opt.TargetWeights are ignored (derived from arch); other
+// options apply to each bisection.
+func MapOnto(g *Graph, arch *Arch, opt Options) ([]int32, Stats, error) {
+	if err := arch.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	opt.Parts = arch.Sockets()
+	opt.TargetWeights = nil
+	if err := opt.validate(g.Len()); err != nil {
+		return nil, Stats{}, err
+	}
+	rng := xrand.New(opt.Seed)
+	part := make([]int32, g.Len())
+	sockets := make([]int, arch.Sockets())
+	for i := range sockets {
+		sockets[i] = i
+	}
+	vertices := make([]int, g.Len())
+	for i := range vertices {
+		vertices[i] = i
+	}
+	drb(g, vertices, opt.Fixed, part, sockets, arch, &opt, rng)
+	if opt.KWayRefine && !opt.NoRefine {
+		refineKWayMapped(g, part, opt.Fixed, arch, opt.Imbalance, opt.FMPasses)
+	}
+	st := Stats{
+		EdgeCut:   EdgeCut(g, part),
+		Imbalance: Imbalance(g, part, arch.Sockets(), archTargets(arch)),
+	}
+	return part, st, nil
+}
+
+// archTargets converts capacities to normalized target weights.
+func archTargets(arch *Arch) []float64 {
+	n := arch.Sockets()
+	t := make([]float64, n)
+	if arch.Capacity == nil {
+		for i := range t {
+			t[i] = 1.0 / float64(n)
+		}
+		return t
+	}
+	sum := 0.0
+	for _, c := range arch.Capacity {
+		sum += c
+	}
+	for i, c := range arch.Capacity {
+		t[i] = c / sum
+	}
+	return t
+}
+
+// drb recursively maps the vertex subset onto the socket subset.
+func drb(g *Graph, vertices []int, fixed []int32, part []int32, sockets []int, arch *Arch, opt *Options, rng *xrand.Rand) {
+	if len(sockets) == 1 {
+		for _, v := range vertices {
+			part[v] = int32(sockets[0])
+		}
+		return
+	}
+	s0, s1 := splitSockets(sockets, arch)
+	cap0, cap1 := groupCapacity(s0, arch), groupCapacity(s1, arch)
+	frac := cap0 / (cap0 + cap1)
+	sub, _ := subgraph(g, vertices)
+	var subFixed []int32
+	if fixed != nil {
+		in0 := make(map[int]bool, len(s0))
+		for _, s := range s0 {
+			in0[s] = true
+		}
+		in1 := make(map[int]bool, len(s1))
+		for _, s := range s1 {
+			in1[s] = true
+		}
+		subFixed = make([]int32, sub.Len())
+		for i, v := range vertices {
+			f := fixed[v]
+			switch {
+			case f < 0:
+				subFixed[i] = -1
+			case in0[int(f)]:
+				subFixed[i] = 0
+			case in1[int(f)]:
+				subFixed[i] = 1
+			default:
+				subFixed[i] = -1 // fixed to a socket outside this branch
+			}
+		}
+	}
+	bis, _ := multilevelBisect(sub, subFixed, frac, opt, rng)
+	var left, right []int
+	for i, v := range vertices {
+		if bis[i] == 0 {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	drb(g, left, fixed, part, s0, arch, opt, rng.Fork())
+	drb(g, right, fixed, part, s1, arch, opt, rng.Fork())
+}
+
+// splitSockets divides a socket group into two halves so that the distance
+// *between* halves is maximized (greedy 2-center growth): the recursion then
+// cuts across the widest interconnect boundary first. Deterministic.
+func splitSockets(sockets []int, arch *Arch) (s0, s1 []int) {
+	if len(sockets) == 2 {
+		return sockets[:1], sockets[1:]
+	}
+	// Pick the farthest pair as seeds (first such pair in index order).
+	bestD := -1
+	var seedA, seedB int
+	for i := 0; i < len(sockets); i++ {
+		for j := i + 1; j < len(sockets); j++ {
+			if d := arch.Dist[sockets[i]][sockets[j]]; d > bestD {
+				bestD = d
+				seedA, seedB = sockets[i], sockets[j]
+			}
+		}
+	}
+	half := (len(sockets) + 1) / 2
+	s0 = append(s0, seedA)
+	s1 = append(s1, seedB)
+	// Assign remaining sockets to the nearer seed group, balancing sizes.
+	for _, s := range sockets {
+		if s == seedA || s == seedB {
+			continue
+		}
+		d0 := groupDist(s, s0, arch)
+		d1 := groupDist(s, s1, arch)
+		switch {
+		case len(s0) >= half:
+			s1 = append(s1, s)
+		case len(s1) >= len(sockets)-half:
+			s0 = append(s0, s)
+		case d0 <= d1:
+			s0 = append(s0, s)
+		default:
+			s1 = append(s1, s)
+		}
+	}
+	return s0, s1
+}
+
+// groupDist is the average distance from s to the group's members.
+func groupDist(s int, group []int, arch *Arch) float64 {
+	if len(group) == 0 {
+		return math.Inf(1)
+	}
+	sum := 0
+	for _, t := range group {
+		sum += arch.Dist[s][t]
+	}
+	return float64(sum) / float64(len(group))
+}
+
+// groupCapacity sums the (default 1.0) capacities of a socket group.
+func groupCapacity(group []int, arch *Arch) float64 {
+	if arch.Capacity == nil {
+		return float64(len(group))
+	}
+	sum := 0.0
+	for _, s := range group {
+		sum += arch.Capacity[s]
+	}
+	return sum
+}

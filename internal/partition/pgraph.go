@@ -1,0 +1,198 @@
+// Package partition implements the multilevel graph partitioner that stands
+// in for SCOTCH in the paper's runtime-graph-partitioning (RGP) policies.
+//
+// The pipeline is the classic multilevel scheme SCOTCH and METIS share:
+//
+//	coarsen (heavy-edge matching)  ->  initial partition (greedy growing)
+//	                               ->  uncoarsen + Fiduccia–Mattheyses refine
+//
+// k-way partitions are produced by recursive bisection, and mapping onto a
+// NUMA architecture graph uses dual recursive bipartitioning (Pellegrini,
+// SHPCC'94): the architecture's socket set is split top-down alongside the
+// task graph, so the cheapest cuts land on the most distant socket groups.
+//
+// All randomness is seeded; identical inputs and options yield identical
+// partitions.
+package partition
+
+import (
+	"fmt"
+
+	"numadag/internal/graph"
+)
+
+// Graph is an undirected weighted graph in adjacency-list form, the
+// partitioner's working representation. Vertices are 0..N-1.
+type Graph struct {
+	nw  []int64      // vertex weights
+	adj [][]neighbor // adjacency, deduplicated, no self-loops
+}
+
+type neighbor struct {
+	to int32
+	w  int64
+}
+
+// NewGraph returns a graph with n zero-weight vertices and no edges.
+func NewGraph(n int) *Graph {
+	return &Graph{nw: make([]int64, n), adj: make([][]neighbor, n)}
+}
+
+// Len returns the vertex count.
+func (g *Graph) Len() int { return len(g.nw) }
+
+// SetVertexWeight assigns the vertex weight (must be non-negative).
+func (g *Graph) SetVertexWeight(v int, w int64) {
+	if w < 0 {
+		panic(fmt.Sprintf("partition: negative vertex weight %d", w))
+	}
+	g.nw[v] = w
+}
+
+// VertexWeight returns the vertex weight.
+func (g *Graph) VertexWeight(v int) int64 { return g.nw[v] }
+
+// AddEdge inserts an undirected edge, accumulating weight over duplicates.
+// Self-loops are ignored (they never affect a cut).
+func (g *Graph) AddEdge(a, b int, w int64) {
+	if w < 0 {
+		panic(fmt.Sprintf("partition: negative edge weight %d", w))
+	}
+	if a == b {
+		return
+	}
+	g.addHalf(a, b, w)
+	g.addHalf(b, a, w)
+}
+
+func (g *Graph) addHalf(from, to int, w int64) {
+	for i := range g.adj[from] {
+		if g.adj[from][i].to == int32(to) {
+			g.adj[from][i].w += w
+			return
+		}
+	}
+	g.adj[from] = append(g.adj[from], neighbor{to: int32(to), w: w})
+}
+
+// Degree returns the number of distinct neighbors of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors calls fn for every neighbor of v.
+func (g *Graph) Neighbors(v int, fn func(u int, w int64)) {
+	for _, nb := range g.adj[v] {
+		fn(int(nb.to), nb.w)
+	}
+}
+
+// TotalVertexWeight sums all vertex weights.
+func (g *Graph) TotalVertexWeight() int64 {
+	var s int64
+	for _, w := range g.nw {
+		s += w
+	}
+	return s
+}
+
+// TotalEdgeWeight sums each undirected edge's weight once.
+func (g *Graph) TotalEdgeWeight() int64 {
+	var s int64
+	for v := range g.adj {
+		for _, nb := range g.adj[v] {
+			if int(nb.to) > v {
+				s += nb.w
+			}
+		}
+	}
+	return s
+}
+
+// FromDAG symmetrizes a task dependency graph into the partitioner's
+// undirected form: each directed dependency contributes its byte weight to
+// the undirected edge between the two tasks, and node weights carry over.
+// Zero node weights are lifted to 1 so balance constraints stay meaningful
+// for degenerate inputs.
+func FromDAG(d *graph.DAG) *Graph {
+	g := NewGraph(d.Len())
+	for v := 0; v < d.Len(); v++ {
+		w := d.NodeWeight(graph.NodeID(v))
+		if w == 0 {
+			w = 1
+		}
+		g.nw[v] = w
+	}
+	for _, e := range d.EdgeList() {
+		w := e.Weight
+		if w == 0 {
+			w = 1
+		}
+		g.AddEdge(int(e.From), int(e.To), w)
+	}
+	return g
+}
+
+// EdgeCut returns the total weight of edges whose endpoints lie in
+// different parts.
+func EdgeCut(g *Graph, part []int32) int64 {
+	var cut int64
+	for v := range g.adj {
+		for _, nb := range g.adj[v] {
+			if int(nb.to) > v && part[v] != part[nb.to] {
+				cut += nb.w
+			}
+		}
+	}
+	return cut
+}
+
+// PartWeights returns the total vertex weight per part.
+func PartWeights(g *Graph, part []int32, k int) []int64 {
+	w := make([]int64, k)
+	for v, p := range part {
+		w[p] += g.nw[v]
+	}
+	return w
+}
+
+// Imbalance returns max_p weight(p) / (total * target(p)) - 1; zero means
+// perfectly balanced against the targets. targets nil means uniform.
+func Imbalance(g *Graph, part []int32, k int, targets []float64) float64 {
+	w := PartWeights(g, part, k)
+	total := g.TotalVertexWeight()
+	if total == 0 {
+		return 0
+	}
+	worst := 0.0
+	for p := 0; p < k; p++ {
+		t := 1.0 / float64(k)
+		if targets != nil {
+			t = targets[p]
+		}
+		if t <= 0 {
+			if w[p] > 0 {
+				return 1e18 // weight in a zero-capacity part
+			}
+			continue
+		}
+		r := float64(w[p])/(float64(total)*t) - 1
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// CommCost returns the architecture-aware communication cost: the sum over
+// cut edges of edgeWeight * dist(part(a), part(b)). This is the objective
+// static mapping minimizes (plain edge cut treats all socket pairs alike).
+func CommCost(g *Graph, part []int32, dist [][]int) int64 {
+	var cost int64
+	for v := range g.adj {
+		for _, nb := range g.adj[v] {
+			if int(nb.to) > v && part[v] != part[nb.to] {
+				cost += nb.w * int64(dist[part[v]][part[nb.to]])
+			}
+		}
+	}
+	return cost
+}

@@ -1,0 +1,124 @@
+package policy
+
+import (
+	"sort"
+
+	"numadag/internal/graph"
+	"numadag/internal/rt"
+)
+
+// HEFT is a static list-scheduling comparator: before execution it computes
+// the classic Heterogeneous-Earliest-Finish-Time schedule over the *whole*
+// TDG — upward ranks from estimated task and communication costs, then
+// earliest-finish socket assignment in rank order. It represents the
+// "offline scheduler with full knowledge" upper reference point the RGP
+// family approximates with windowed knowledge; unlike the runtime policies
+// it could never be deployed (the real TDG unfolds online and its costs are
+// estimates).
+//
+// The estimates use the machine model itself: compute time from FLOPs and
+// a memory term from the task's bytes at local bandwidth; edge communication
+// from the dependency's bytes at interconnect-port bandwidth.
+type HEFT struct {
+	assign map[graph.NodeID]int32
+}
+
+// NewHEFT returns a HEFT scheduler.
+func NewHEFT() *HEFT { return &HEFT{} }
+
+// Name implements rt.Policy.
+func (*HEFT) Name() string { return "HEFT" }
+
+// VetoSteal implements rt.StealVeto: the schedule is static.
+func (*HEFT) VetoSteal() bool { return true }
+
+// Prepare implements rt.Preparer.
+func (h *HEFT) Prepare(r *rt.Runtime) {
+	g := r.Graph()
+	m := r.Machine()
+	n := g.Len()
+	h.assign = make(map[graph.NodeID]int32, n)
+	if n == 0 {
+		return
+	}
+	cfg := m.Config()
+	localBW := m.CoreBandwidth(0, 0)
+	linkBW := cfg.LinkBandwidth
+
+	// Estimated execution time per task (ns, socket-independent).
+	w := make([]float64, n)
+	for _, t := range r.Tasks() {
+		bytes := float64(t.InputBytes() + t.OutputBytes())
+		w[t.ID] = float64(m.ComputeTime(t.Flops)) + bytes/localBW
+	}
+	// Upward ranks in reverse topological order.
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("policy: HEFT on cyclic graph: " + err.Error())
+	}
+	rank := make([]float64, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		best := 0.0
+		g.Succs(id, func(to graph.NodeID, bytes int64) {
+			c := float64(bytes) / linkBW
+			if v := c + rank[to]; v > best {
+				best = v
+			}
+		})
+		rank[id] = w[id] + best
+	}
+	// Schedule in decreasing rank order (ties by ID for determinism).
+	byRank := make([]graph.NodeID, n)
+	copy(byRank, order)
+	sort.SliceStable(byRank, func(a, b int) bool {
+		if rank[byRank[a]] != rank[byRank[b]] {
+			return rank[byRank[a]] > rank[byRank[b]]
+		}
+		return byRank[a] < byRank[b]
+	})
+	sockets := m.Sockets()
+	coreFree := make([]float64, m.Cores()) // estimated per-core availability
+	finish := make([]float64, n)
+	for _, id := range byRank {
+		bestSocket, bestFinish, bestCore := 0, 0.0, 0
+		first := true
+		for s := 0; s < sockets; s++ {
+			// Data-ready time on s: predecessors' finish plus cross-socket
+			// communication.
+			ready := 0.0
+			g.Preds(id, func(from graph.NodeID, bytes int64) {
+				t := finish[from]
+				if int(h.assign[from]) != s {
+					t += float64(bytes) / linkBW
+				}
+				if t > ready {
+					ready = t
+				}
+			})
+			lo, hi := m.CoresOf(s)
+			for c := lo; c < hi; c++ {
+				start := ready
+				if coreFree[c] > start {
+					start = coreFree[c]
+				}
+				f := start + w[id]
+				if first || f < bestFinish {
+					first = false
+					bestSocket, bestFinish, bestCore = s, f, c
+				}
+			}
+		}
+		h.assign[id] = int32(bestSocket)
+		finish[id] = bestFinish
+		coreFree[bestCore] = bestFinish
+	}
+}
+
+// PickSocket implements rt.Policy.
+func (h *HEFT) PickSocket(r *rt.Runtime, t *rt.Task) int {
+	if s, ok := h.assign[t.ID]; ok {
+		return int(s)
+	}
+	return lasPick(r, t)
+}

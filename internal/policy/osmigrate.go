@@ -1,0 +1,95 @@
+package policy
+
+import (
+	"numadag/internal/memory"
+	"numadag/internal/rt"
+)
+
+// OSMigrate models the OS-level techniques the paper's introduction
+// contrasts against (kMAF, Carrefour-style page migration): scheduling is
+// NUMA-unaware (cyclic, like DFIFO), but the "kernel" watches accesses and
+// migrates a region to a remote socket once that socket has touched it
+// MigrateAfter times in a row more than its home has. Migration is charged
+// to the simulation as a real transfer occupying controller and port
+// bandwidth.
+//
+// The point of the baseline is the paper's argument that reactive
+// OS approaches "take action when the application is already suffering from
+// remote memory accesses" — the TDG-based policies act before the first
+// access instead.
+type OSMigrate struct {
+	// MigrateAfter is the number of consecutive remote accesses from the
+	// same socket after which a region migrates (default 2).
+	MigrateAfter int
+
+	remoteRuns map[int]*runCount // by region ID
+	// MigratedBytes counts the traffic spent on migrations.
+	MigratedBytes int64
+	// Migrations counts migration events.
+	Migrations int
+}
+
+type runCount struct {
+	socket int
+	count  int
+}
+
+// NewOSMigrate returns the baseline with the default threshold.
+func NewOSMigrate() *OSMigrate {
+	return &OSMigrate{MigrateAfter: 2, remoteRuns: make(map[int]*runCount)}
+}
+
+// Name implements rt.Policy.
+func (*OSMigrate) Name() string { return "OSMigrate" }
+
+// PickSocket implements rt.Policy: cyclic, NUMA-unaware placement.
+func (*OSMigrate) PickSocket(*rt.Runtime, *rt.Task) int { return rt.AnySocket }
+
+// TaskDone implements rt.TaskDoneHook: account remote accesses and trigger
+// migrations.
+func (p *OSMigrate) TaskDone(r *rt.Runtime, t *rt.Task) {
+	if p.remoteRuns == nil {
+		p.remoteRuns = make(map[int]*runCount)
+	}
+	threshold := p.MigrateAfter
+	if threshold <= 0 {
+		threshold = 2
+	}
+	for _, a := range t.Accesses {
+		reg := a.Region
+		home := dominantHome(reg, r.Machine().Sockets())
+		if home < 0 || home == t.Socket {
+			delete(p.remoteRuns, reg.ID())
+			continue
+		}
+		rc := p.remoteRuns[reg.ID()]
+		if rc == nil || rc.socket != t.Socket {
+			rc = &runCount{socket: t.Socket}
+			p.remoteRuns[reg.ID()] = rc
+		}
+		rc.count++
+		if rc.count >= threshold {
+			moved := reg.Migrate(t.Socket)
+			if moved > 0 {
+				p.MigratedBytes += moved
+				p.Migrations++
+				// The page copy occupies the old home's controller and
+				// port: charge it as a background transfer.
+				r.Machine().Transfer(home, t.Socket, moved, nil)
+			}
+			delete(p.remoteRuns, reg.ID())
+		}
+	}
+}
+
+// dominantHome returns the socket holding most of the region's bytes, or -1
+// if nothing is allocated.
+func dominantHome(reg *memory.Region, sockets int) int {
+	best, bestB := -1, int64(0)
+	for s, b := range reg.BytesOnSocket(sockets) {
+		if b > bestB {
+			best, bestB = s, b
+		}
+	}
+	return best
+}

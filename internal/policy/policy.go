@@ -1,0 +1,265 @@
+// Package policy implements the four scheduling configurations of the
+// paper's evaluation — DFIFO, LAS (the baseline), EP and the RGP family —
+// plus ablation variants. Each policy is a small, pure decision function
+// over the runtime's state; the runtime owns queues, stealing and
+// execution.
+package policy
+
+import (
+	"fmt"
+
+	"numadag/internal/graph"
+	"numadag/internal/partition"
+	"numadag/internal/rt"
+	"numadag/internal/sim"
+)
+
+// DFIFO is the distributed-FIFO configuration: every ready task goes to the
+// next CPU in cyclic order, with no awareness of where data lives. The
+// runtime realizes the cyclic order through per-core queues.
+type DFIFO struct{}
+
+// Name implements rt.Policy.
+func (DFIFO) Name() string { return "DFIFO" }
+
+// PickSocket implements rt.Policy.
+func (DFIFO) PickSocket(*rt.Runtime, *rt.Task) int { return rt.AnySocket }
+
+// LAS is the locality-aware scheduler of Drebes et al. that the paper uses
+// as its baseline: at scheduling time the task's dependences are weighted by
+// the bytes already allocated per socket, and the task is pushed to the
+// heaviest socket ("enhanced work-pushing"). If no byte of its data is
+// allocated yet, the socket is uniformly random; ties break randomly among
+// the tied sockets. Allocation itself is deferred: output regions get homed
+// wherever the producing task ends up running (the runtime implements that
+// in its write phase).
+type LAS struct{}
+
+// Name implements rt.Policy.
+func (LAS) Name() string { return "LAS" }
+
+// PickSocket implements rt.Policy.
+func (LAS) PickSocket(r *rt.Runtime, t *rt.Task) int {
+	return lasPick(r, t)
+}
+
+// lasPick is LAS's socket choice, shared with the RGP propagation phase.
+func lasPick(r *rt.Runtime, t *rt.Task) int {
+	res := r.ResidencyBytes(t)
+	var best int64
+	for _, b := range res {
+		if b > best {
+			best = b
+		}
+	}
+	if best == 0 {
+		// Nothing allocated: uniformly random among all sockets.
+		return r.Rand().Intn(len(res))
+	}
+	// Random tie-break among maximal sockets, with a single pass
+	// reservoir draw for determinism.
+	winner, seen := -1, 0
+	for s, b := range res {
+		if b == best {
+			seen++
+			if r.Rand().Intn(seen) == 0 {
+				winner = s
+			}
+		}
+	}
+	return winner
+}
+
+// EP is the expert-programmer configuration: the schedule is hardcoded in
+// the benchmark source. Apps annotate each task with its expert placement;
+// tasks without a hint (not part of the expert's distribution) fall back to
+// LAS so the configuration stays runnable on any app.
+type EP struct{}
+
+// Name implements rt.Policy.
+func (EP) Name() string { return "EP" }
+
+// PickSocket implements rt.Policy.
+func (EP) PickSocket(r *rt.Runtime, t *rt.Task) int {
+	if t.EPSocket != rt.NoEPHint {
+		return t.EPSocket
+	}
+	return lasPick(r, t)
+}
+
+// VetoSteal implements rt.StealVeto: the expert's schedule is hardcoded in
+// the benchmark source, so the runtime must not second-guess it by moving
+// tasks across sockets.
+func (EP) VetoSteal() bool { return true }
+
+// RandomSocket scatters tasks uniformly at random over sockets; an ablation
+// lower bound distinct from DFIFO (which at least balances perfectly).
+type RandomSocket struct{}
+
+// Name implements rt.Policy.
+func (RandomSocket) Name() string { return "Random" }
+
+// PickSocket implements rt.Policy.
+func (RandomSocket) PickSocket(r *rt.Runtime, t *rt.Task) int {
+	return r.Rand().Intn(r.Machine().Sockets())
+}
+
+// Propagation selects how RGP extends the initial window's partition to the
+// rest of the TDG.
+type Propagation int
+
+const (
+	// PropagateLAS uses locality-aware scheduling beyond the first window —
+	// the paper's RGP+LAS configuration.
+	PropagateLAS Propagation = iota
+	// PropagateRepartition partitions every window, anchoring each window's
+	// boundary tasks to the previous assignments (pure RGP ablation).
+	PropagateRepartition
+)
+
+// String implements fmt.Stringer.
+func (p Propagation) String() string {
+	switch p {
+	case PropagateLAS:
+		return "las"
+	case PropagateRepartition:
+		return "repartition"
+	default:
+		return fmt.Sprintf("propagation(%d)", int(p))
+	}
+}
+
+// RGP is the runtime-graph-partitioning family (§2.2): the first window of
+// the TDG is partitioned with the multilevel partitioner mapped onto the
+// machine's NUMA architecture; tasks of that window run on their assigned
+// socket. While the partition is being computed (a simulated cost charged
+// per window task), ready window tasks wait in the runtime's temporary
+// queue. The rest of the graph follows the chosen Propagation.
+type RGP struct {
+	// Propagate selects the propagation mode (default PropagateLAS).
+	Propagate Propagation
+	// Opt tunes the partitioner; zero value means partition.DefaultOptions.
+	Opt partition.Options
+
+	assign     map[graph.NodeID]int32
+	ready      bool // simulated partition completed
+	windowsCut int
+}
+
+// NewRGPLAS returns the paper's RGP+LAS configuration.
+func NewRGPLAS() *RGP { return &RGP{Propagate: PropagateLAS} }
+
+// NewRGPRepartition returns the repartition-every-window ablation.
+func NewRGPRepartition() *RGP { return &RGP{Propagate: PropagateRepartition} }
+
+// Name implements rt.Policy.
+func (p *RGP) Name() string {
+	if p.Propagate == PropagateLAS {
+		return "RGP+LAS"
+	}
+	return "RGP(repartition)"
+}
+
+// Prepare implements rt.Preparer: it computes the partition(s) of the
+// task-dependency-graph window(s) and charges the simulated partitioning
+// latency for the first window. Ready tasks of the first window defer to
+// the temporary queue until that latency elapses.
+func (p *RGP) Prepare(r *rt.Runtime) {
+	p.assign = make(map[graph.NodeID]int32)
+	nWindows := r.Windows()
+	if nWindows == 0 {
+		p.ready = true
+		return
+	}
+	arch := &partition.Arch{Dist: distanceMatrix(r)}
+	limit := 1
+	if p.Propagate == PropagateRepartition {
+		limit = nWindows
+	}
+	prev := make(map[graph.NodeID]int32) // assignments from earlier windows
+	for w := 0; w < limit; w++ {
+		tasks := r.WindowTasks(w)
+		if len(tasks) == 0 {
+			continue
+		}
+		ids := make([]graph.NodeID, len(tasks))
+		for i, t := range tasks {
+			ids[i] = t.ID
+		}
+		// Anchor: include predecessor tasks from earlier windows as fixed
+		// vertices so the new window's partition aligns with decided work.
+		var anchors []graph.NodeID
+		if w > 0 {
+			seen := make(map[graph.NodeID]bool)
+			for _, t := range tasks {
+				r.Graph().Preds(t.ID, func(from graph.NodeID, _ int64) {
+					if _, done := prev[from]; done && !seen[from] {
+						seen[from] = true
+						anchors = append(anchors, from)
+					}
+				})
+			}
+		}
+		all := append(append([]graph.NodeID{}, anchors...), ids...)
+		sub, back := r.Graph().InducedSubgraph(all)
+		pg := partition.FromDAG(sub)
+		opt := p.Opt
+		if opt.Parts == 0 && opt.CoarsenTo == 0 {
+			opt = partition.DefaultOptions(r.Machine().Sockets())
+			opt.Seed = r.Options().Seed
+		}
+		opt.Fixed = make([]int32, sub.Len())
+		for i := range opt.Fixed {
+			opt.Fixed[i] = -1
+		}
+		for i := range anchors {
+			opt.Fixed[i] = prev[back[i]]
+		}
+		part, _, err := partition.MapOnto(pg, arch, opt)
+		if err != nil {
+			panic(fmt.Sprintf("policy: window %d partition failed: %v", w, err))
+		}
+		for i, id := range back {
+			if i < len(anchors) {
+				continue
+			}
+			p.assign[id] = part[i]
+			prev[id] = part[i]
+		}
+		p.windowsCut++
+	}
+	// Charge the simulated SCOTCH latency for the first window; deferred
+	// tasks are released when it elapses.
+	cost := r.Options().PartitionCostPerTask * sim.Time(len(r.WindowTasks(0)))
+	r.At(cost, func() {
+		p.ready = true
+		r.ReleaseDeferred()
+	})
+}
+
+// PickSocket implements rt.Policy.
+func (p *RGP) PickSocket(r *rt.Runtime, t *rt.Task) int {
+	if s, ok := p.assign[t.ID]; ok {
+		if !p.ready {
+			return rt.DeferPlacement
+		}
+		return int(s)
+	}
+	return lasPick(r, t)
+}
+
+// WindowsPartitioned reports how many windows Prepare partitioned.
+func (p *RGP) WindowsPartitioned() int { return p.windowsCut }
+
+// distanceMatrix extracts the machine's socket distance matrix.
+func distanceMatrix(r *rt.Runtime) [][]int {
+	n := r.Machine().Sockets()
+	d := make([][]int, n)
+	for i := range d {
+		d[i] = make([]int, n)
+		for j := range d[i] {
+			d[i][j] = r.Machine().Hops(i, j)
+		}
+	}
+	return d
+}

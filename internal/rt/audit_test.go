@@ -1,0 +1,81 @@
+package rt
+
+import (
+	"testing"
+
+	"numadag/internal/memory"
+)
+
+func TestAuditCleanRunPasses(t *testing.T) {
+	r := newTestRT(t, cyclic{}, Options{Seed: 3, Steal: true, StealThreshold: 1})
+	regs := make([]*memory.Region, 8)
+	for i := range regs {
+		regs[i] = r.Mem().Alloc("r", 32<<10, memory.Deferred, 0)
+	}
+	for i := 0; i < 60; i++ {
+		r.Submit(TaskSpec{Label: "t", Flops: float64(500 * (i%5 + 1)),
+			Accesses: []Access{
+				{Region: regs[i%8], Mode: InOut},
+				{Region: regs[(i+3)%8], Mode: In},
+			}, EPSocket: NoEPHint})
+	}
+	r.Run()
+	if err := r.AuditSchedule(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditBeforeRunFails(t *testing.T) {
+	r := newTestRT(t, pinned(0), Options{})
+	reg := r.Mem().Alloc("x", 64, memory.Deferred, 0)
+	r.Submit(TaskSpec{Label: "t", Flops: 10,
+		Accesses: []Access{{Region: reg, Mode: Out}}, EPSocket: NoEPHint})
+	if err := r.AuditSchedule(); err == nil {
+		t.Fatal("audit passed before the run")
+	}
+}
+
+func TestAuditWithBarriers(t *testing.T) {
+	r := newTestRT(t, cyclic{}, Options{})
+	for e := 0; e < 3; e++ {
+		for i := 0; i < 5; i++ {
+			reg := r.Mem().Alloc("x", 4096, memory.Deferred, 0)
+			r.Submit(TaskSpec{Label: "t", Flops: 500,
+				Accesses: []Access{{Region: reg, Mode: Out}}, EPSocket: NoEPHint})
+		}
+		r.Barrier()
+	}
+	r.Run()
+	if err := r.AuditSchedule(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortUtilizationTracked(t *testing.T) {
+	// A remote-heavy run must show port pressure; a local one must not.
+	remote := newTestRT(t, pinned(1), Options{Steal: false})
+	data := remote.Mem().Alloc("d", 16<<20, memory.Home, 0)
+	for i := 0; i < 8; i++ {
+		out := remote.Mem().Alloc("o", 64, memory.Deferred, 0)
+		remote.Submit(TaskSpec{Label: "t", Flops: 100,
+			Accesses: []Access{{Region: data, Mode: In}, {Region: out, Mode: Out}},
+			EPSocket: NoEPHint})
+	}
+	res := remote.Run()
+	if res.MaxPortUtilization <= 0 {
+		t.Fatalf("remote run shows no port utilization: %+v", res.MaxPortUtilization)
+	}
+
+	local := newTestRT(t, pinned(0), Options{Steal: false})
+	dataL := local.Mem().Alloc("d", 16<<20, memory.Home, 0)
+	for i := 0; i < 8; i++ {
+		out := local.Mem().Alloc("o", 64, memory.Deferred, 0)
+		local.Submit(TaskSpec{Label: "t", Flops: 100,
+			Accesses: []Access{{Region: dataL, Mode: In}, {Region: out, Mode: Out}},
+			EPSocket: NoEPHint})
+	}
+	resL := local.Run()
+	if resL.MaxPortUtilization != 0 {
+		t.Fatalf("local run crossed ports: %v", resL.MaxPortUtilization)
+	}
+}

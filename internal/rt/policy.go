@@ -1,0 +1,51 @@
+package rt
+
+// Placement constants a Policy may return from PickSocket besides a
+// concrete socket index.
+const (
+	// AnySocket asks the runtime to place the task on the next CPU in
+	// cyclic order, ignoring sockets entirely (the DFIFO behaviour).
+	AnySocket = -1
+	// DeferPlacement parks the task in the temporary queue; the runtime
+	// re-offers it to the policy after the policy calls ReleaseDeferred
+	// (used while a window partition is still being computed, §2.2).
+	DeferPlacement = -2
+)
+
+// Policy decides where ready tasks run. Implementations must be
+// deterministic given the runtime's seeded Rand. PickSocket is invoked every
+// time a task becomes ready (and again for each re-offer of a deferred
+// task); it returns a socket index, AnySocket or DeferPlacement.
+type Policy interface {
+	Name() string
+	PickSocket(rt *Runtime, t *Task) int
+}
+
+// Preparer is implemented by policies that need a hook before execution
+// starts (e.g. RGP partitions the first window here and charges its
+// simulated cost).
+type Preparer interface {
+	Prepare(rt *Runtime)
+}
+
+// Observer receives execution lifecycle callbacks; trace sinks implement it.
+type Observer interface {
+	TaskStart(t *Task)
+	TaskEnd(t *Task)
+}
+
+// TaskDoneHook is implemented by policies that react to completions — e.g.
+// OS-style page-migration baselines that watch access patterns and move
+// memory after the fact. The hook runs at the task's completion instant,
+// before dependents are released.
+type TaskDoneHook interface {
+	TaskDone(r *Runtime, t *Task)
+}
+
+// StealVeto is implemented by policies whose placement is a hard contract:
+// if VetoSteal returns true, the runtime never steals across sockets, no
+// matter what Options.Steal says (intra-socket stealing stays on). The EP
+// configuration uses this — an expert's hardcoded schedule is not advisory.
+type StealVeto interface {
+	VetoSteal() bool
+}

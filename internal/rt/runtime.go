@@ -1,0 +1,641 @@
+package rt
+
+import (
+	"fmt"
+
+	"numadag/internal/graph"
+	"numadag/internal/machine"
+	"numadag/internal/memory"
+	"numadag/internal/sim"
+	"numadag/internal/xrand"
+)
+
+// Options configures a Runtime.
+type Options struct {
+	// WindowSize caps the tasks per submission window (the paper's window
+	// size limit). Zero means a single unbounded window.
+	WindowSize int
+	// Seed drives every random decision (tie-breaks, stealing victims).
+	Seed uint64
+	// Steal enables the idle-core cross-socket work-stealing fallback.
+	// Stealing within a socket (between a socket's core queues) is always
+	// allowed — it has no NUMA cost.
+	Steal bool
+	// StealThreshold is the minimum backlog per victim core (queued tasks
+	// divided by the victim socket's cores) before an idle remote core may
+	// steal. A positive threshold keeps stealing a pressure-relief valve
+	// instead of a locality shredder: a victim that will drain its queue
+	// within a couple of task lengths is left alone.
+	StealThreshold int
+	// PartitionCostPerTask is the simulated time charged per window task
+	// when a policy partitions a window (RGP's SCOTCH invocation). The
+	// runtime multiplies it by the window's task count.
+	PartitionCostPerTask sim.Time
+	// Observer optionally receives task lifecycle events (tracing).
+	Observer Observer
+}
+
+// DefaultOptions returns the runtime settings used across the evaluation:
+// window of 2048 tasks, cross-socket stealing as a pressure valve (victim
+// queue of at least one task per victim core), 200ns of partitioning cost
+// per task (SCOTCH partitions ~10k-node graphs in a few milliseconds).
+func DefaultOptions() Options {
+	return Options{
+		WindowSize:           2048,
+		Seed:                 1,
+		Steal:                true,
+		StealThreshold:       2,
+		PartitionCostPerTask: 200,
+	}
+}
+
+// regionTrack holds per-region dependence bookkeeping (OmpSs semantics).
+type regionTrack struct {
+	lastWriter *Task
+	readers    []*Task // readers since the last write
+}
+
+// Runtime executes submitted tasks over a simulated machine under a Policy.
+type Runtime struct {
+	mach *machine.Machine
+	mem  *memory.Manager
+	pol  Policy
+	opts Options
+	rng  *xrand.Rand
+
+	tdg    *graph.DAG
+	tasks  []*Task
+	tracks map[int]*regionTrack // by region ID
+
+	// Queues.
+	sockQ  [][]*Task // per-socket FIFO
+	coreQ  [][]*Task // per-core FIFO (cyclic placement)
+	tempQ  []*Task   // temporary queue (deferred placement)
+	rrNext int       // cyclic core counter
+
+	coreBusy []bool
+	coreTask []*Task
+
+	running    bool
+	ranAlready bool
+	remaining  int  // tasks not yet done
+	stealVeto  bool // policy forbids cross-socket stealing
+
+	// Window bookkeeping: windows close on count (WindowSize) or at an
+	// explicit Barrier.
+	curWindow   int
+	windowCount int
+	// barrierTask, when non-nil, is the synchronization task every
+	// subsequently submitted task must depend on (taskwait semantics).
+	barrierTask *Task
+	barriers    int
+
+	stats Result
+}
+
+// NewRuntime creates a runtime over the machine, with its own memory
+// manager.
+func NewRuntime(m *machine.Machine, pol Policy, opts Options) *Runtime {
+	if pol == nil {
+		panic("rt: nil policy")
+	}
+	if opts.WindowSize < 0 || opts.PartitionCostPerTask < 0 {
+		panic("rt: negative option")
+	}
+	r := &Runtime{
+		mach:   m,
+		mem:    memory.NewManager(m.Sockets()),
+		pol:    pol,
+		opts:   opts,
+		rng:    xrand.New(opts.Seed),
+		tdg:    graph.New(),
+		tracks: make(map[int]*regionTrack),
+		sockQ:  make([][]*Task, m.Sockets()),
+		coreQ:  make([][]*Task, m.Cores()),
+	}
+	r.coreBusy = make([]bool, m.Cores())
+	r.coreTask = make([]*Task, m.Cores())
+	r.stats.BusyTime = make([]sim.Time, m.Cores())
+	r.stats.SocketTasks = make([]int, m.Sockets())
+	if v, ok := pol.(StealVeto); ok && v.VetoSteal() {
+		r.stealVeto = true
+	}
+	return r
+}
+
+// Machine returns the simulated machine.
+func (r *Runtime) Machine() *machine.Machine { return r.mach }
+
+// Mem returns the memory manager applications allocate regions from.
+func (r *Runtime) Mem() *memory.Manager { return r.mem }
+
+// Rand returns the runtime's seeded generator (policies share it so a run
+// remains a single deterministic stream).
+func (r *Runtime) Rand() *xrand.Rand { return r.rng }
+
+// Graph returns the task dependency graph built so far. Node IDs equal task
+// IDs.
+func (r *Runtime) Graph() *graph.DAG { return r.tdg }
+
+// Tasks returns all submitted tasks in submission order.
+func (r *Runtime) Tasks() []*Task { return r.tasks }
+
+// Task returns the task with the given ID.
+func (r *Runtime) Task(id graph.NodeID) *Task { return r.tasks[id] }
+
+// Now returns the current simulated time.
+func (r *Runtime) Now() sim.Time { return r.mach.Engine().Now() }
+
+// Options returns the runtime's options.
+func (r *Runtime) Options() Options { return r.opts }
+
+// nextWindowSlot returns the window for the task being submitted and
+// advances the count-based window state.
+func (r *Runtime) nextWindowSlot() int {
+	w := r.curWindow
+	r.windowCount++
+	if r.opts.WindowSize > 0 && r.windowCount >= r.opts.WindowSize {
+		r.curWindow++
+		r.windowCount = 0
+	}
+	return w
+}
+
+// Barrier inserts a synchronization point, as an OmpSs taskwait would:
+// every task submitted afterwards depends (transitively, through a zero-work
+// sync task) on every task submitted before, and the current submission
+// window closes — the paper's runtime partitions the accumulated subgraph
+// "once the execution goes through a barrier point" (§2.2). Calling Barrier
+// with no tasks submitted since the last one is a no-op.
+func (r *Runtime) Barrier() {
+	if r.running {
+		panic("rt: Barrier during Run")
+	}
+	if len(r.tasks) == 0 || r.tasks[len(r.tasks)-1] == r.barrierTask {
+		return // nothing submitted since the last barrier
+	}
+	// Close the current window so the sync task opens a fresh one.
+	if r.windowCount > 0 {
+		r.curWindow++
+		r.windowCount = 0
+	}
+	r.barriers++
+	sync := r.Submit(TaskSpec{Label: fmt.Sprintf("barrier#%d", r.barriers), EPSocket: NoEPHint})
+	// Wire every current leaf (except the sync task itself) into the sync
+	// task; non-leaves reach it transitively through their successors.
+	for _, t := range r.tasks {
+		if t == sync {
+			continue
+		}
+		if len(t.succs) == 0 && !r.tdg.HasEdge(t.ID, sync.ID) {
+			t.succs = append(t.succs, sync)
+			sync.nDeps++
+			r.tdg.AddEdge(t.ID, sync.ID, 1)
+		}
+	}
+	r.barrierTask = sync
+	// The sync task consumed one slot of the fresh window; give user tasks
+	// the full window after the barrier.
+	r.windowCount = 0
+	sync.Window = r.curWindow
+}
+
+// Barriers returns the number of barriers inserted.
+func (r *Runtime) Barriers() int { return r.barriers }
+
+// Windows returns the number of submission windows.
+func (r *Runtime) Windows() int {
+	if len(r.tasks) == 0 {
+		return 0
+	}
+	return r.tasks[len(r.tasks)-1].Window + 1
+}
+
+// WindowTasks returns the tasks of window w in submission order.
+func (r *Runtime) WindowTasks(w int) []*Task {
+	var out []*Task
+	for _, t := range r.tasks {
+		if t.Window == w {
+			out = append(out, t)
+		} else if t.Window > w {
+			break
+		}
+	}
+	return out
+}
+
+// Submit registers a task, deriving its dependences from region accesses:
+// a read depends on the region's last writer (RAW); a write depends on the
+// last writer (WAW) and on every reader since (WAR). RAW and WAW edges are
+// weighted with the region's bytes (the data the dependency represents);
+// WAR edges carry weight 1 (pure ordering). Submit must be called before
+// Run; the TDG is then complete, and the window mechanism reproduces the
+// paper's partial-knowledge partitioning.
+func (r *Runtime) Submit(spec TaskSpec) *Task {
+	if r.running {
+		panic("rt: Submit during Run")
+	}
+	if spec.EPSocket != NoEPHint && (spec.EPSocket < 0 || spec.EPSocket >= r.mach.Sockets()) {
+		panic(fmt.Sprintf("rt: EP socket %d out of range", spec.EPSocket))
+	}
+	if spec.Flops < 0 {
+		panic("rt: negative flops")
+	}
+	id := r.tdg.AddNode(spec.Label, int64(spec.Flops))
+	t := &Task{
+		ID:       id,
+		Label:    spec.Label,
+		Flops:    spec.Flops,
+		Accesses: spec.Accesses,
+		EPSocket: spec.EPSocket,
+		Window:   r.nextWindowSlot(),
+		Socket:   -1,
+		Core:     -1,
+		pickedBy: AnySocket,
+	}
+	r.tasks = append(r.tasks, t)
+	// Taskwait semantics: everything after a barrier depends on it.
+	if r.barrierTask != nil && r.barrierTask != t {
+		b := r.barrierTask
+		b.succs = append(b.succs, t)
+		t.nDeps++
+		r.tdg.AddEdge(b.ID, t.ID, 1)
+	}
+
+	addDep := func(from *Task, w int64) {
+		if from == t {
+			return // e.g. in+out on the same region within one task
+		}
+		if !r.tdg.HasEdge(from.ID, t.ID) {
+			from.succs = append(from.succs, t)
+			t.nDeps++
+		}
+		r.tdg.AddEdge(from.ID, t.ID, w)
+	}
+	for _, a := range spec.Accesses {
+		if a.Region == nil {
+			panic("rt: access with nil region")
+		}
+		tr := r.tracks[a.Region.ID()]
+		if tr == nil {
+			tr = &regionTrack{}
+			r.tracks[a.Region.ID()] = tr
+		}
+		if a.Mode.Reads() {
+			if tr.lastWriter != nil {
+				addDep(tr.lastWriter, a.Region.Bytes()) // RAW: real data
+			}
+		}
+		if a.Mode.Writes() {
+			if tr.lastWriter != nil {
+				addDep(tr.lastWriter, 1) // WAW: ordering only
+			}
+			for _, rd := range tr.readers {
+				addDep(rd, 1) // WAR: ordering only
+			}
+		}
+	}
+	// Update trackers after dependence edges are drawn.
+	for _, a := range spec.Accesses {
+		tr := r.tracks[a.Region.ID()]
+		if a.Mode.Writes() {
+			tr.lastWriter = t
+			tr.readers = tr.readers[:0]
+		}
+		if a.Mode.Reads() && a.Mode == In {
+			tr.readers = append(tr.readers, t)
+		}
+	}
+	return t
+}
+
+// ResidencyBytes returns, per socket, the allocated bytes of the task's
+// accessed regions — the weights LAS uses to pick a socket.
+func (r *Runtime) ResidencyBytes(t *Task) []int64 {
+	out := make([]int64, r.mach.Sockets())
+	for _, a := range t.Accesses {
+		for s, b := range a.Region.BytesOnSocket(r.mach.Sockets()) {
+			out[s] += b
+		}
+	}
+	return out
+}
+
+// QueueLen returns the number of tasks queued on a socket (socket queue
+// plus the core queues of its cores).
+func (r *Runtime) QueueLen(socket int) int {
+	n := len(r.sockQ[socket])
+	lo, hi := r.mach.CoresOf(socket)
+	for c := lo; c < hi; c++ {
+		n += len(r.coreQ[c])
+	}
+	return n
+}
+
+// At schedules fn at simulated time now+d (exposed for policies charging
+// partitioning cost).
+func (r *Runtime) At(d sim.Time, fn func()) { r.mach.Engine().After(d, fn) }
+
+// ReleaseDeferred re-offers every task in the temporary queue to the
+// policy. Policies call it when a pending partition completes.
+func (r *Runtime) ReleaseDeferred() {
+	pending := r.tempQ
+	r.tempQ = nil
+	for _, t := range pending {
+		t.state = stateReady
+		r.place(t)
+	}
+}
+
+// DeferredCount returns the tasks currently parked in the temporary queue.
+func (r *Runtime) DeferredCount() int { return len(r.tempQ) }
+
+// Run executes all submitted tasks to completion and returns the result.
+// It can only be called once.
+func (r *Runtime) Run() Result {
+	if r.ranAlready {
+		panic("rt: Run called twice")
+	}
+	r.ranAlready = true
+	r.running = true
+	r.remaining = len(r.tasks)
+	if p, ok := r.pol.(Preparer); ok {
+		p.Prepare(r)
+	}
+	// Make all dependency-free tasks ready at t=0, in submission order.
+	for _, t := range r.tasks {
+		if t.nDeps == 0 {
+			r.makeReady(t)
+		}
+	}
+	end := r.mach.Engine().Run()
+	if r.remaining != 0 {
+		panic(fmt.Sprintf("rt: %d tasks never ran (dependency deadlock?)", r.remaining))
+	}
+	r.running = false
+	r.stats.Makespan = end
+	r.stats.TasksRun = len(r.tasks)
+	r.finishStats()
+	return r.stats
+}
+
+func (r *Runtime) makeReady(t *Task) {
+	t.state = stateReady
+	t.ReadyAt = r.Now()
+	r.place(t)
+}
+
+// place asks the policy for a placement and enqueues the task.
+func (r *Runtime) place(t *Task) {
+	pick := r.pol.PickSocket(r, t)
+	switch {
+	case pick == DeferPlacement:
+		t.state = stateDeferred
+		r.tempQ = append(r.tempQ, t)
+		r.stats.Deferred++
+		return
+	case pick == AnySocket:
+		t.pickedBy = AnySocket
+		core := r.rrNext % r.mach.Cores()
+		r.rrNext++
+		t.state = stateQueued
+		r.coreQ[core] = append(r.coreQ[core], t)
+		if !r.coreBusy[core] {
+			r.dispatch(core)
+		} else if r.opts.Steal {
+			r.wakeIdleCore()
+		}
+		return
+	case pick >= 0 && pick < r.mach.Sockets():
+		t.pickedBy = pick
+		t.state = stateQueued
+		r.sockQ[pick] = append(r.sockQ[pick], t)
+		lo, hi := r.mach.CoresOf(pick)
+		for c := lo; c < hi; c++ {
+			if !r.coreBusy[c] {
+				r.dispatch(c)
+				return
+			}
+		}
+		if r.opts.Steal {
+			r.wakeIdleCore()
+		}
+		return
+	default:
+		panic(fmt.Sprintf("rt: policy %s picked socket %d of %d", r.pol.Name(), pick, r.mach.Sockets()))
+	}
+}
+
+// wakeIdleCore nudges one idle core (if any) to look for work — needed when
+// work lands on a socket whose cores are all busy but other sockets idle.
+func (r *Runtime) wakeIdleCore() {
+	for c := 0; c < r.mach.Cores(); c++ {
+		if !r.coreBusy[c] {
+			r.dispatch(c)
+			return
+		}
+	}
+}
+
+// dispatch lets an idle core pick its next task: own core queue, then its
+// socket's queue, then stealing (nearest socket first).
+func (r *Runtime) dispatch(core int) {
+	if r.coreBusy[core] {
+		return
+	}
+	t := r.pickWork(core)
+	if t == nil {
+		return
+	}
+	r.execute(core, t)
+}
+
+func (r *Runtime) pickWork(core int) *Task {
+	if q := r.coreQ[core]; len(q) > 0 {
+		t := q[0]
+		r.coreQ[core] = q[1:]
+		return t
+	}
+	s := r.mach.SocketOf(core)
+	if q := r.sockQ[s]; len(q) > 0 {
+		t := q[0]
+		r.sockQ[s] = q[1:]
+		return t
+	}
+	// Intra-socket steal from sibling core queues: no NUMA cost, always on.
+	lo, hi := r.mach.CoresOf(s)
+	for c := lo; c < hi; c++ {
+		if c == core {
+			continue
+		}
+		if q := r.coreQ[c]; len(q) > 0 {
+			t := q[len(q)-1]
+			r.coreQ[c] = q[:len(q)-1]
+			return t
+		}
+	}
+	if !r.opts.Steal || r.stealVeto {
+		return nil
+	}
+	// Cross-socket steal: visit victims nearest-first (then lowest index),
+	// and only rob sockets whose backlog exceeds the threshold — queues a
+	// victim will drain shortly are left alone, protecting locality.
+	type victim struct{ s, d int }
+	victims := make([]victim, 0, r.mach.Sockets()-1)
+	for v := 0; v < r.mach.Sockets(); v++ {
+		if v != s {
+			victims = append(victims, victim{s: v, d: r.mach.Hops(s, v)})
+		}
+	}
+	for i := 1; i < len(victims); i++ {
+		for j := i; j > 0 && (victims[j].d < victims[j-1].d ||
+			(victims[j].d == victims[j-1].d && victims[j].s < victims[j-1].s)); j-- {
+			victims[j], victims[j-1] = victims[j-1], victims[j]
+		}
+	}
+	minBacklog := r.opts.StealThreshold * r.mach.Config().CoresPerSocket
+	for _, v := range victims {
+		if r.QueueLen(v.s) < minBacklog {
+			continue
+		}
+		if q := r.sockQ[v.s]; len(q) > 0 {
+			t := q[len(q)-1] // steal the youngest: oldest stays local
+			r.sockQ[v.s] = q[:len(q)-1]
+			t.Stolen = true
+			r.stats.Steals++
+			return t
+		}
+		vlo, vhi := r.mach.CoresOf(v.s)
+		for c := vlo; c < vhi; c++ {
+			if q := r.coreQ[c]; len(q) > 0 {
+				t := q[len(q)-1]
+				r.coreQ[c] = q[:len(q)-1]
+				t.Stolen = true
+				r.stats.Steals++
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// execute runs a task on a core: read phase (fetch inputs), compute phase,
+// write phase (store outputs), then completion.
+func (r *Runtime) execute(core int, t *Task) {
+	socket := r.mach.SocketOf(core)
+	r.coreBusy[core] = true
+	r.coreTask[core] = t
+	t.state = stateRunning
+	t.Core = core
+	t.Socket = socket
+	t.StartAt = r.Now()
+	r.stats.SocketTasks[socket]++
+	if r.opts.Observer != nil {
+		r.opts.Observer.TaskStart(t)
+	}
+
+	r.readPhase(core, t, func() {
+		r.mach.Engine().After(r.mach.ComputeTime(t.Flops), func() {
+			r.writePhase(core, t, func() {
+				r.complete(core, t)
+			})
+		})
+	})
+}
+
+// readPhase fetches every input byte from its home socket, concurrently.
+// Unallocated input pages are first-touched on the executing socket (the
+// reader allocates, as Linux would).
+func (r *Runtime) readPhase(core int, t *Task, done func()) {
+	socket := r.mach.SocketOf(core)
+	perHome := make([]int64, r.mach.Sockets())
+	for _, a := range t.Accesses {
+		if !a.Mode.Reads() {
+			continue
+		}
+		if !a.Region.Allocated() {
+			a.Region.Touch(socket)
+		}
+		for s, b := range a.Region.BytesOnSocket(r.mach.Sockets()) {
+			perHome[s] += b
+		}
+	}
+	r.fanOutTransfers(socket, perHome, done)
+}
+
+// writePhase stores outputs to their home sockets. Unallocated output pages
+// are first-touched locally — this is deferred allocation paying off: a
+// task's output lands on the socket it ran on.
+func (r *Runtime) writePhase(core int, t *Task, done func()) {
+	socket := r.mach.SocketOf(core)
+	perHome := make([]int64, r.mach.Sockets())
+	for _, a := range t.Accesses {
+		if !a.Mode.Writes() {
+			continue
+		}
+		if !a.Region.Allocated() {
+			a.Region.Touch(socket)
+		}
+		for s, b := range a.Region.BytesOnSocket(r.mach.Sockets()) {
+			perHome[s] += b
+		}
+	}
+	r.fanOutTransfers(socket, perHome, done)
+}
+
+// fanOutTransfers launches one transfer per non-empty home socket and calls
+// done when all land. Zero total bytes completes immediately (synchronously,
+// keeping zero-work tasks cheap for the event queue).
+func (r *Runtime) fanOutTransfers(execSocket int, perHome []int64, done func()) {
+	pendingTransfers := 0
+	for _, b := range perHome {
+		if b > 0 {
+			pendingTransfers++
+		}
+	}
+	if pendingTransfers == 0 {
+		done()
+		return
+	}
+	for home, b := range perHome {
+		if b == 0 {
+			continue
+		}
+		hops := r.mach.Hops(execSocket, home)
+		if hops == 0 {
+			r.stats.LocalBytes += b
+		} else {
+			r.stats.RemoteBytes += b
+			r.stats.RemoteByteHops += int64(hops) * b
+		}
+		r.mach.Transfer(home, execSocket, b, func() {
+			pendingTransfers--
+			if pendingTransfers == 0 {
+				done()
+			}
+		})
+	}
+}
+
+// complete finalizes a task: wake dependents, free the core, dispatch.
+func (r *Runtime) complete(core int, t *Task) {
+	t.state = stateDone
+	t.EndAt = r.Now()
+	r.stats.BusyTime[core] += t.EndAt - t.StartAt
+	r.coreBusy[core] = false
+	r.coreTask[core] = nil
+	r.remaining--
+	if r.opts.Observer != nil {
+		r.opts.Observer.TaskEnd(t)
+	}
+	if h, ok := r.pol.(TaskDoneHook); ok {
+		h.TaskDone(r, t)
+	}
+	for _, succ := range t.succs {
+		succ.nDeps--
+		if succ.nDeps == 0 && succ.state == stateBlocked {
+			r.makeReady(succ)
+		}
+	}
+	r.dispatch(core)
+}

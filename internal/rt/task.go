@@ -1,0 +1,159 @@
+// Package rt implements the task-based runtime system the paper's policies
+// plug into — the role Nanos++ plays on the real machine.
+//
+// Applications submit tasks with region accesses (in/out/inout). The runtime
+// derives the task dependency graph exactly as OmpSs does (RAW, WAR and WAW
+// over regions), splits the submission stream into windows, and executes the
+// graph over the simulated machine: per-socket ready queues, cyclic per-core
+// queues for socket-unaware policies, an optional work-stealing fallback,
+// and the temporary queue that holds ready tasks while a window's partition
+// is still being computed (§2.2 of the paper).
+//
+// Scheduling decisions are delegated to a Policy; the runtime owns
+// everything else. All execution is simulated and deterministic.
+package rt
+
+import (
+	"fmt"
+
+	"numadag/internal/graph"
+	"numadag/internal/memory"
+	"numadag/internal/sim"
+)
+
+// AccessMode declares how a task uses a region, mirroring OmpSs/OpenMP
+// depend clauses.
+type AccessMode int
+
+const (
+	// In is a read dependence.
+	In AccessMode = iota
+	// Out is a write dependence (the task fully overwrites the region).
+	Out
+	// InOut reads and writes the region.
+	InOut
+)
+
+// String implements fmt.Stringer.
+func (m AccessMode) String() string {
+	switch m {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Reads reports whether the mode reads the region.
+func (m AccessMode) Reads() bool { return m == In || m == InOut }
+
+// Writes reports whether the mode writes the region.
+func (m AccessMode) Writes() bool { return m == Out || m == InOut }
+
+// Access is one region dependence of a task.
+type Access struct {
+	Region *memory.Region
+	Mode   AccessMode
+}
+
+// TaskSpec describes a task at submission time.
+type TaskSpec struct {
+	// Label names the task for traces and DOT dumps (e.g. "gemm(2,3)").
+	Label string
+	// Flops is the task's compute work in floating-point operations (or an
+	// equivalent abstract work unit; the machine's CoreFlops converts it to
+	// time).
+	Flops float64
+	// Accesses lists the task's region dependences.
+	Accesses []Access
+	// EPSocket is the expert programmer's placement (the hardcoded schedule
+	// of the paper's EP configuration); NoEPHint if the app provides none.
+	EPSocket int
+}
+
+// NoEPHint marks the absence of an expert placement hint.
+const NoEPHint = -1
+
+// taskState tracks a task through its lifecycle.
+type taskState int8
+
+const (
+	stateBlocked  taskState = iota // waiting on dependences
+	stateReady                     // dependences met, not yet queued/placed
+	stateDeferred                  // in the temporary queue (partition pending)
+	stateQueued                    // in a ready queue
+	stateRunning
+	stateDone
+)
+
+// Task is a submitted task instance. Fields other than the identification
+// ones are managed by the runtime; policies may read them but must not
+// write.
+type Task struct {
+	ID       graph.NodeID
+	Label    string
+	Flops    float64
+	Accesses []Access
+	EPSocket int
+
+	// Window is the submission window index the task belongs to.
+	Window int
+
+	// Socket and Core record placement once the task starts; -1 before.
+	Socket int
+	Core   int
+
+	// Stolen reports the task ran on a different socket than the one the
+	// policy picked (work-stealing fallback).
+	Stolen bool
+
+	// Timeline (simulated).
+	ReadyAt sim.Time
+	StartAt sim.Time
+	EndAt   sim.Time
+
+	state    taskState
+	nDeps    int // unresolved predecessors
+	succs    []*Task
+	pickedBy int // socket chosen by the policy (before stealing), -1 for cyclic
+}
+
+// State helpers used by tests and policies.
+
+// Done reports whether the task has finished executing.
+func (t *Task) Done() bool { return t.state == stateDone }
+
+// Running reports whether the task is currently executing.
+func (t *Task) Running() bool { return t.state == stateRunning }
+
+// NumSuccs returns the number of distinct dependent tasks.
+func (t *Task) NumSuccs() int { return len(t.succs) }
+
+// PendingDeps returns the number of unresolved predecessors.
+func (t *Task) PendingDeps() int { return t.nDeps }
+
+// InputBytes sums the sizes of the regions the task reads.
+func (t *Task) InputBytes() int64 {
+	var n int64
+	for _, a := range t.Accesses {
+		if a.Mode.Reads() {
+			n += a.Region.Bytes()
+		}
+	}
+	return n
+}
+
+// OutputBytes sums the sizes of the regions the task writes.
+func (t *Task) OutputBytes() int64 {
+	var n int64
+	for _, a := range t.Accesses {
+		if a.Mode.Writes() {
+			n += a.Region.Bytes()
+		}
+	}
+	return n
+}

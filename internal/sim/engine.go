@@ -1,0 +1,189 @@
+// Package sim implements the deterministic discrete-event core that stands in
+// for the paper's physical machine.
+//
+// Two layers live here:
+//
+//   - Engine: a classic event-heap simulator with integer-nanosecond time.
+//     Events scheduled for the same instant fire in scheduling order, which
+//     makes every run bit-reproducible.
+//   - Net: a fluid-flow network on top of Engine. A Flow is a volume of bytes
+//     crossing a set of shared Resources (memory controllers, inter-socket
+//     links); the rate of every active flow is the max-min fair allocation
+//     over those resources, recomputed whenever a flow starts or finishes.
+//
+// The fluid model is the standard substitute for cycle-level memory-system
+// simulation when the quantities of interest are bandwidth contention and
+// completion times rather than per-request behaviour; it is what lets an
+// 8-socket bullion S16 run inside a unit test.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations, for readable configuration code.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats the time as seconds with millisecond precision for small
+// values and full nanoseconds otherwise.
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fµs", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type event struct {
+	at  Time
+	seq uint64 // tiebreaker: FIFO among same-instant events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	nSteps uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far, a cheap progress and
+// determinism probe for tests.
+func (e *Engine) Steps() uint64 { return e.nSteps }
+
+// Timer is a handle to a scheduled event that can be cancelled before it
+// fires. Cancelled events are skipped without advancing the clock, so stale
+// timers never stretch a run's final time.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the event if it has not fired yet. Stopping an already-fired
+// or already-stopped timer is a no-op.
+func (t *Timer) Stop() {
+	if t != nil && t.ev != nil {
+		t.ev.fn = nil
+		t.ev = nil
+	}
+}
+
+// At schedules fn to run at absolute time t and returns a cancellation
+// handle. Scheduling in the past panics: it is always a simulator bug, never
+// a recoverable condition.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event function")
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step executes the next live event, advancing the clock to its timestamp.
+// Cancelled events are discarded without touching the clock. It reports
+// whether a live event was executed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		e.now = ev.at
+		e.nSteps++
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, leaving later events
+// queued, and advances the clock to min(deadline, last event time). It
+// reports whether the queue drained.
+func (e *Engine) RunUntil(deadline Time) bool {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline && e.Pending() > 0 {
+		e.now = deadline
+	}
+	return e.Pending() == 0
+}
+
+// Pending returns the number of live (non-cancelled) queued events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if ev.fn != nil {
+			n++
+		}
+	}
+	return n
+}

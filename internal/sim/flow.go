@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resource is a shared capacity, in bytes per nanosecond (numerically equal
+// to GB/s), over which fluid flows compete: a socket's memory controller or
+// an inter-socket link. Resources are created through Net.NewResource so the
+// network can index them densely.
+type Resource struct {
+	id       int
+	name     string
+	capacity float64 // bytes/ns
+	flows    int     // active flows crossing this resource (bookkeeping)
+
+	// Utilization accounting: byte-time integral of allocated rate.
+	carried    float64 // total bytes carried so far
+	rate       float64 // currently allocated rate (sum over flows)
+	lastUpdate Time
+}
+
+// Carried returns the total bytes the resource has transported so far,
+// progressed to the given time.
+func (r *Resource) Carried(now Time) float64 {
+	return r.carried + r.rate*float64(now-r.lastUpdate)
+}
+
+// Utilization returns the average fraction of capacity used over [0, now].
+func (r *Resource) Utilization(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return r.Carried(now) / (r.capacity * float64(now))
+}
+
+// settle folds the running rate into the carried integral at time now.
+func (r *Resource) settle(now Time, newRate float64) {
+	r.carried += r.rate * float64(now-r.lastUpdate)
+	r.rate = newRate
+	r.lastUpdate = now
+}
+
+// Name returns the diagnostic name given at creation.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the resource capacity in bytes per nanosecond.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// ActiveFlows returns the number of flows currently crossing the resource.
+func (r *Resource) ActiveFlows() int { return r.flows }
+
+// Flow is an in-flight transfer of a byte volume across a path of resources.
+type Flow struct {
+	id         int
+	volume     float64 // total bytes of the transfer
+	remaining  float64 // bytes left to move
+	rate       float64 // bytes/ns, current max-min allocation
+	maxRate    float64 // per-flow rate cap (source concurrency limit)
+	path       []*Resource
+	lastUpdate Time
+	pending    *Timer // current completion event; stopped on reallocation
+	done       func()
+	net        *Net
+	finished   bool
+}
+
+// Volume returns the total byte volume of the transfer.
+func (f *Flow) Volume() float64 { return f.volume }
+
+// Remaining returns the bytes not yet transferred, progressed to the current
+// simulated time.
+func (f *Flow) Remaining() float64 {
+	if f.finished {
+		return 0
+	}
+	elapsed := float64(f.net.eng.Now() - f.lastUpdate)
+	rem := f.remaining - elapsed*f.rate
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// Rate returns the current fair-share rate in bytes/ns.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Net is a fluid-flow network bound to an Engine. All methods must be called
+// from the engine goroutine (the simulator is single-threaded by design).
+type Net struct {
+	eng       *Engine
+	resources []*Resource
+	flows     map[int]*Flow
+	nextFlow  int
+	// TotalBytes accumulates the volume completed through the network,
+	// a convenient global traffic counter for statistics.
+	TotalBytes float64
+}
+
+// NewNet creates an empty flow network driven by eng.
+func NewNet(eng *Engine) *Net {
+	return &Net{eng: eng, flows: make(map[int]*Flow)}
+}
+
+// NewResource registers a shared resource with the given capacity in
+// bytes per nanosecond (== GB/s). Capacity must be positive.
+func (n *Net) NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q with non-positive capacity %v", name, capacity))
+	}
+	r := &Resource{id: len(n.resources), name: name, capacity: capacity}
+	n.resources = append(n.resources, r)
+	return r
+}
+
+// StartFlow begins moving bytes across path and calls done (if non-nil) when
+// the last byte arrives. A flow with an empty path or zero bytes completes
+// after zero simulated time (via an immediate event, preserving event order).
+// The returned flow can be inspected but not cancelled; flows always run to
+// completion.
+func (n *Net) StartFlow(bytes float64, path []*Resource, done func()) *Flow {
+	return n.StartFlowCapped(bytes, path, math.Inf(1), done)
+}
+
+// StartFlowCapped is StartFlow with an additional per-flow rate ceiling in
+// bytes/ns. The cap models a source that cannot saturate the path on its own
+// — e.g. a single core whose outstanding-miss window limits its achievable
+// memory bandwidth. A non-positive cap panics.
+func (n *Net) StartFlowCapped(bytes float64, path []*Resource, maxRate float64, done func()) *Flow {
+	if bytes < 0 {
+		panic(fmt.Sprintf("sim: negative flow volume %v", bytes))
+	}
+	if maxRate <= 0 {
+		panic(fmt.Sprintf("sim: non-positive flow rate cap %v", maxRate))
+	}
+	n.nextFlow++
+	f := &Flow{
+		id:         n.nextFlow,
+		volume:     bytes,
+		remaining:  bytes,
+		maxRate:    maxRate,
+		path:       path,
+		lastUpdate: n.eng.Now(),
+		done:       done,
+		net:        n,
+	}
+	if bytes == 0 || len(path) == 0 {
+		f.finished = true
+		n.TotalBytes += bytes
+		n.eng.After(0, func() {
+			if f.done != nil {
+				f.done()
+			}
+		})
+		return f
+	}
+	n.progressAll()
+	n.flows[f.id] = f
+	for _, r := range f.path {
+		r.flows++
+	}
+	n.reallocate()
+	return f
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Net) ActiveFlows() int { return len(n.flows) }
+
+// progressAll advances every active flow's remaining volume to the current
+// time using its rate since the last update.
+func (n *Net) progressAll() {
+	now := n.eng.Now()
+	for _, f := range n.flows {
+		elapsed := float64(now - f.lastUpdate)
+		if elapsed > 0 {
+			f.remaining -= elapsed * f.rate
+			if f.remaining < 1e-9 {
+				f.remaining = 0
+			}
+		}
+		f.lastUpdate = now
+	}
+}
+
+// reallocate computes the max-min fair rate for every active flow
+// (water-filling with per-flow caps) and reschedules completion events.
+//
+// Water-filling: repeatedly find the binding constraint — either the
+// bottleneck resource (smallest per-unfrozen-flow fair share) or an unfrozen
+// flow whose own cap is below that share — freeze the affected flows,
+// subtract their consumption from every resource they cross, repeat.
+func (n *Net) reallocate() {
+	if len(n.flows) == 0 {
+		for _, r := range n.resources {
+			r.settle(n.eng.Now(), 0)
+		}
+		return
+	}
+	residual := make([]float64, len(n.resources))
+	unfrozen := make([]int, len(n.resources))
+	for _, r := range n.resources {
+		residual[r.id] = r.capacity
+		unfrozen[r.id] = 0
+	}
+	// Deterministic iteration order: flow ids are monotonically assigned.
+	ids := make([]int, 0, len(n.flows))
+	for id := range n.flows {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	frozen := make(map[int]bool, len(n.flows))
+	for _, id := range ids {
+		for _, r := range n.flows[id].path {
+			unfrozen[r.id]++
+		}
+	}
+	freeze := func(f *Flow, rate float64) {
+		f.rate = rate
+		frozen[f.id] = true
+		for _, rr := range f.path {
+			residual[rr.id] -= rate
+			if residual[rr.id] < 0 {
+				residual[rr.id] = 0
+			}
+			unfrozen[rr.id]--
+		}
+	}
+	for len(frozen) < len(ids) {
+		// Bottleneck-resource share.
+		share := math.Inf(1)
+		for _, r := range n.resources {
+			if unfrozen[r.id] == 0 {
+				continue
+			}
+			if s := residual[r.id] / float64(unfrozen[r.id]); s < share {
+				share = s
+			}
+		}
+		// A flow whose cap is at or below the share binds first.
+		capBound := false
+		for _, id := range ids {
+			f := n.flows[id]
+			if !frozen[id] && f.maxRate <= share {
+				freeze(f, f.maxRate)
+				capBound = true
+			}
+		}
+		if capBound {
+			continue // resource shares changed; recompute
+		}
+		if math.IsInf(share, 1) {
+			// Remaining flows cross no contended resource; cannot happen
+			// because every flow has a non-empty path, but guard anyway.
+			for _, id := range ids {
+				if !frozen[id] {
+					n.flows[id].rate = n.flows[id].maxRate
+					frozen[id] = true
+				}
+			}
+			break
+		}
+		// Freeze every unfrozen flow crossing a bottleneck resource.
+		progressed := false
+		for _, r := range n.resources {
+			if unfrozen[r.id] == 0 {
+				continue
+			}
+			if residual[r.id]/float64(unfrozen[r.id]) > share*(1+1e-12) {
+				continue
+			}
+			for _, id := range ids {
+				f := n.flows[id]
+				if frozen[id] || !crosses(f, r) {
+					continue
+				}
+				freeze(f, share)
+				progressed = true
+			}
+		}
+		if !progressed {
+			panic("sim: max-min water-filling made no progress")
+		}
+	}
+	// Settle per-resource rate integrals with the fresh allocation.
+	now := n.eng.Now()
+	sums := make([]float64, len(n.resources))
+	for _, id := range ids {
+		f := n.flows[id]
+		for _, res := range f.path {
+			sums[res.id] += f.rate
+		}
+	}
+	for _, res := range n.resources {
+		res.settle(now, sums[res.id])
+	}
+	// Reschedule completions, cancelling superseded events so they neither
+	// fire nor inflate the run's final time.
+	for _, id := range ids {
+		f := n.flows[id]
+		f.pending.Stop()
+		var dt Time
+		if f.rate <= 0 || math.IsInf(f.rate, 1) {
+			dt = 0
+		} else {
+			dt = Time(math.Ceil(f.remaining / f.rate))
+		}
+		f.pending = n.eng.After(dt, func() { n.maybeFinish(f) })
+	}
+}
+
+// maybeFinish completes f when its completion event fires.
+func (n *Net) maybeFinish(f *Flow) {
+	if f.finished {
+		return
+	}
+	n.progressAll()
+	if f.remaining > 1e-6 {
+		// Rounding of Time(ceil(...)) can fire marginally early after a
+		// reallocation; reschedule for the residue.
+		dt := Time(math.Ceil(f.remaining / f.rate))
+		if dt < 1 {
+			dt = 1
+		}
+		f.pending = n.eng.After(dt, func() { n.maybeFinish(f) })
+		return
+	}
+	f.finished = true
+	f.remaining = 0
+	delete(n.flows, f.id)
+	for _, r := range f.path {
+		r.flows--
+	}
+	n.TotalBytes += f.volume
+	n.reallocate()
+	if f.done != nil {
+		f.done()
+	}
+}
+
+func crosses(f *Flow, r *Resource) bool {
+	for _, rr := range f.path {
+		if rr == r {
+			return true
+		}
+	}
+	return false
+}
+
+// sortInts is a tiny insertion sort; flow counts are small (≤ cores) so this
+// beats pulling in package sort on the hot path.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package trace records task execution timelines and renders them as
+// Chrome trace-event JSON (load chrome://tracing or Perfetto) or as a
+// plain-text Gantt chart — the role Paraver traces play in the paper's
+// workflow.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"numadag/internal/rt"
+	"numadag/internal/sim"
+)
+
+// Event is one task execution span.
+type Event struct {
+	Label  string
+	Core   int
+	Socket int
+	Start  sim.Time
+	End    sim.Time
+	Stolen bool
+}
+
+// Recorder implements rt.Observer, collecting an event per executed task.
+type Recorder struct {
+	events []Event
+}
+
+var _ rt.Observer = (*Recorder)(nil)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// TaskStart implements rt.Observer (span recorded on end).
+func (rec *Recorder) TaskStart(*rt.Task) {}
+
+// TaskEnd implements rt.Observer.
+func (rec *Recorder) TaskEnd(t *rt.Task) {
+	rec.events = append(rec.events, Event{
+		Label:  t.Label,
+		Core:   t.Core,
+		Socket: t.Socket,
+		Start:  t.StartAt,
+		End:    t.EndAt,
+		Stolen: t.Stolen,
+	})
+}
+
+// Events returns the recorded spans in completion order.
+func (rec *Recorder) Events() []Event { return rec.events }
+
+// Len returns the number of recorded spans.
+func (rec *Recorder) Len() int { return len(rec.events) }
+
+// chromeEvent is the trace_event "complete" (ph=X) record.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the events as a Chrome trace-event JSON array.
+// Sockets map to pids, cores to tids, so the UI groups lanes by socket.
+func (rec *Recorder) WriteChromeTrace(w io.Writer) error {
+	evts := make([]chromeEvent, 0, len(rec.events))
+	for _, e := range rec.events {
+		args := map[string]string{}
+		if e.Stolen {
+			args["stolen"] = "true"
+		}
+		evts = append(evts, chromeEvent{
+			Name: e.Label,
+			Ph:   "X",
+			Ts:   float64(e.Start) / 1e3,
+			Dur:  float64(e.End-e.Start) / 1e3,
+			Pid:  e.Socket,
+			Tid:  e.Core,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(evts)
+}
+
+// WriteGantt renders a coarse per-core text Gantt chart: one row per core,
+// `width` columns spanning [0, makespan], '#' where the core is busy.
+func (rec *Recorder) WriteGantt(w io.Writer, cores int, width int) error {
+	if width <= 0 {
+		width = 80
+	}
+	var makespan sim.Time
+	for _, e := range rec.events {
+		if e.End > makespan {
+			makespan = e.End
+		}
+	}
+	if makespan == 0 {
+		makespan = 1
+	}
+	rows := make([][]byte, cores)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, e := range rec.events {
+		if e.Core < 0 || e.Core >= cores {
+			continue
+		}
+		lo := int(int64(e.Start) * int64(width) / int64(makespan))
+		hi := int(int64(e.End) * int64(width) / int64(makespan))
+		if hi == lo {
+			hi = lo + 1
+		}
+		for x := lo; x < hi && x < width; x++ {
+			rows[e.Core][x] = '#'
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "gantt: %d tasks over %v\n", len(rec.events), makespan)
+	for c, row := range rows {
+		fmt.Fprintf(bw, "core %2d |%s|\n", c, row)
+	}
+	return bw.Flush()
+}

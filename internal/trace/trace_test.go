@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"numadag/internal/machine"
+	"numadag/internal/memory"
+	"numadag/internal/rt"
+	"numadag/internal/sim"
+)
+
+type pinZero struct{}
+
+func (pinZero) Name() string                         { return "pin0" }
+func (pinZero) PickSocket(*rt.Runtime, *rt.Task) int { return 0 }
+
+func record(t *testing.T, n int) *Recorder {
+	t.Helper()
+	rec := NewRecorder()
+	m := machine.New(machine.TwoSocketXeon(), sim.NewEngine())
+	r := rt.NewRuntime(m, pinZero{}, rt.Options{Observer: rec})
+	for i := 0; i < n; i++ {
+		reg := r.Mem().Alloc("x", 4096, memory.Deferred, 0)
+		r.Submit(rt.TaskSpec{Label: "task", Flops: 1000,
+			Accesses: []rt.Access{{Region: reg, Mode: rt.Out}}, EPSocket: rt.NoEPHint})
+	}
+	r.Run()
+	return rec
+}
+
+func TestRecorderCapturesAllTasks(t *testing.T) {
+	rec := record(t, 10)
+	if rec.Len() != 10 {
+		t.Fatalf("recorded %d events, want 10", rec.Len())
+	}
+	for _, e := range rec.Events() {
+		if e.End < e.Start {
+			t.Fatalf("event %v ends before it starts", e)
+		}
+		if e.Socket != 0 {
+			t.Fatalf("event on socket %d, want 0", e.Socket)
+		}
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	rec := record(t, 5)
+	var sb strings.Builder
+	if err := rec.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed) != 5 {
+		t.Fatalf("trace has %d events", len(parsed))
+	}
+	for _, e := range parsed {
+		if e["ph"] != "X" {
+			t.Fatalf("event phase %v, want X", e["ph"])
+		}
+		if e["name"] != "task" {
+			t.Fatalf("event name %v", e["name"])
+		}
+	}
+}
+
+func TestGanttRender(t *testing.T) {
+	rec := record(t, 8)
+	var sb strings.Builder
+	if err := rec.WriteGantt(&sb, 16, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "core  0") {
+		t.Errorf("gantt missing core rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("gantt shows no busy time")
+	}
+	if lines := strings.Count(out, "\n"); lines != 17 { // header + 16 cores
+		t.Errorf("gantt has %d lines, want 17", lines)
+	}
+}
+
+func TestGanttEmptyRecorder(t *testing.T) {
+	rec := NewRecorder()
+	var sb strings.Builder
+	if err := rec.WriteGantt(&sb, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0 tasks") {
+		t.Error("empty gantt header wrong")
+	}
+}

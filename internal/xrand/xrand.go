@@ -1,0 +1,92 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator used by every stochastic decision in the simulator.
+//
+// All randomness in numadag flows through a seeded *Rand so that a given
+// (seed, configuration) pair reproduces the exact same partitions, schedules
+// and makespans. The generator is splitmix64 (Steele et al.), which is
+// statistically solid for the simulator's needs and has a one-word state
+// that is trivial to fork deterministically.
+package xrand
+
+// Rand is a deterministic pseudo-random number generator. It is not safe for
+// concurrent use; fork one per goroutine with Fork if needed. The simulator
+// itself is single-threaded per run, so a single Rand per run suffices.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Two generators created with the
+// same seed produce identical streams.
+func New(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 random bits (splitmix64 step).
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded values.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap (Fisher–Yates).
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork derives an independent generator from the current state. The derived
+// stream is decorrelated from the parent by an extra mixing step, and the
+// parent advances by one step, so repeated Fork calls yield distinct children.
+func (r *Rand) Fork() *Rand {
+	return &Rand{state: r.Uint64() ^ 0xd1b54a32d192ed03}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return hi, lo
+}

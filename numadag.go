@@ -1,0 +1,220 @@
+// Package numadag is a simulation framework for studying NUMA-aware
+// scheduling of task dependency graphs, reproducing "Graph partitioning
+// applied to DAG scheduling to reduce NUMA effects" (Sánchez Barrera et al.,
+// PPoPP 2018).
+//
+// The package is a facade over the internal packages; it exposes everything
+// a user needs to
+//
+//   - run the paper's benchmarks under its scheduling policies (Run,
+//     Figure1),
+//   - build custom task-based applications on the simulated runtime
+//     (NewEngine/NewMachine/NewRuntime, TaskSpec, Access),
+//   - implement custom scheduling policies (the Policy interface), and
+//   - use the multilevel graph partitioner directly (Partition, MapOnto).
+//
+// Quick start:
+//
+//	cfg := numadag.DefaultConfig("jacobi", "RGP+LAS", numadag.ScaleSmall)
+//	res, err := numadag.Run(cfg)
+//	fmt.Println(res.Stats.Summary())
+package numadag
+
+import (
+	"numadag/internal/apps"
+	"numadag/internal/core"
+	"numadag/internal/graph"
+	"numadag/internal/machine"
+	"numadag/internal/memory"
+	"numadag/internal/metrics"
+	"numadag/internal/partition"
+	"numadag/internal/rt"
+	"numadag/internal/sim"
+	"numadag/internal/trace"
+)
+
+// Simulation substrate.
+type (
+	// Engine is the deterministic discrete-event simulator.
+	Engine = sim.Engine
+	// Time is simulated nanoseconds.
+	Time = sim.Time
+	// Machine is an instantiated NUMA machine.
+	Machine = machine.Machine
+	// MachineConfig describes a NUMA topology.
+	MachineConfig = machine.Config
+)
+
+// NewEngine creates a fresh simulation engine.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// NewMachine instantiates a machine config over an engine.
+func NewMachine(cfg MachineConfig, eng *Engine) *Machine { return machine.New(cfg, eng) }
+
+// Machine presets.
+var (
+	// BullionS16 is the paper's evaluation machine (8 sockets x 4 cores).
+	BullionS16 = machine.BullionS16
+	// TwoSocketXeon is a common 2-socket node.
+	TwoSocketXeon = machine.TwoSocketXeon
+	// FourSocket is a glueless 4-socket node.
+	FourSocket = machine.FourSocket
+	// UniformMachine has no NUMA effects (control configuration).
+	UniformMachine = machine.Uniform
+)
+
+// Runtime layer.
+type (
+	// Runtime is the task-based runtime (the Nanos++ stand-in).
+	Runtime = rt.Runtime
+	// RuntimeOptions tunes window size, stealing and seeds.
+	RuntimeOptions = rt.Options
+	// TaskSpec describes a task at submission.
+	TaskSpec = rt.TaskSpec
+	// Task is a submitted task instance.
+	Task = rt.Task
+	// Access is one region dependence of a task.
+	Access = rt.Access
+	// AccessMode is In, Out or InOut.
+	AccessMode = rt.AccessMode
+	// Policy decides where ready tasks run.
+	Policy = rt.Policy
+	// Result is a run's statistics.
+	Result = rt.Result
+	// Region is a NUMA-homed allocation.
+	Region = memory.Region
+	// Placement selects how region pages are homed.
+	Placement = memory.Placement
+)
+
+// Access modes and placements.
+const (
+	In    = rt.In
+	Out   = rt.Out
+	InOut = rt.InOut
+
+	Deferred   = memory.Deferred
+	FirstTouch = memory.FirstTouch
+	Interleave = memory.Interleave
+	HomePlaced = memory.Home
+
+	// NoEPHint marks a task without an expert-programmer placement.
+	NoEPHint = rt.NoEPHint
+	// AnySocket lets the runtime place a task cyclically over cores.
+	AnySocket = rt.AnySocket
+	// DeferPlacement parks a task in the temporary queue.
+	DeferPlacement = rt.DeferPlacement
+)
+
+// NewRuntime creates a runtime over a machine with the given policy.
+func NewRuntime(m *Machine, pol Policy, opts RuntimeOptions) *Runtime {
+	return rt.NewRuntime(m, pol, opts)
+}
+
+// DefaultRuntimeOptions returns the evaluation's runtime settings.
+func DefaultRuntimeOptions() RuntimeOptions { return rt.DefaultOptions() }
+
+// Experiments.
+type (
+	// Config describes one simulation run (app x policy x machine).
+	Config = core.Config
+	// RunResult couples a config with its statistics.
+	RunResult = core.RunResult
+	// Figure1Options tunes the Figure-1 reproduction.
+	Figure1Options = core.Figure1Options
+	// Table is a named-rows/columns result table.
+	Table = metrics.Table
+	// Scale selects a problem-size preset.
+	Scale = apps.Scale
+)
+
+// Problem scales.
+const (
+	ScaleTiny  = apps.Tiny
+	ScaleSmall = apps.Small
+	ScalePaper = apps.Paper
+)
+
+// DefaultConfig returns the evaluation settings for one run.
+func DefaultConfig(app, policy string, scale Scale) Config {
+	return core.DefaultConfig(app, policy, scale)
+}
+
+// Run executes one configuration.
+func Run(cfg Config) (RunResult, error) { return core.Run(cfg) }
+
+// Figure1 reproduces the paper's Figure 1 (speedups over LAS).
+func Figure1(opt Figure1Options) (*Table, error) { return core.Figure1(opt) }
+
+// DefaultFigure1Options returns the paper-faithful Figure-1 settings.
+func DefaultFigure1Options() Figure1Options { return core.DefaultFigure1Options() }
+
+// App is a named benchmark task-graph generator.
+type App = apps.App
+
+// AppNames lists the eight benchmarks.
+func AppNames() []string { return apps.Names() }
+
+// AppByName instantiates a benchmark generator at the given scale; call its
+// Build method on a Runtime to submit the task graph.
+func AppByName(name string, s Scale) (App, error) { return apps.ByName(name, s) }
+
+// Apps instantiates all eight benchmarks at the given scale.
+func Apps(s Scale) []App { return apps.All(s) }
+
+// PolicyNames lists the Figure-1 scheduling configurations.
+func PolicyNames() []string { return append([]string(nil), core.PolicyNames...) }
+
+// NewPolicy instantiates a policy by name (DFIFO, LAS, EP, RGP+LAS, RGP,
+// Random, OSMigrate).
+func NewPolicy(name string) (Policy, error) { return core.NewPolicy(name) }
+
+// Graph partitioning (the SCOTCH substitute), exposed for direct use.
+type (
+	// PGraph is the partitioner's undirected weighted graph.
+	PGraph = partition.Graph
+	// PartitionOptions tunes the multilevel pipeline.
+	PartitionOptions = partition.Options
+	// Arch is a target architecture for static mapping.
+	Arch = partition.Arch
+	// DAG is the task-dependency-graph structure.
+	DAG = graph.DAG
+	// NodeID indexes a DAG node.
+	NodeID = graph.NodeID
+)
+
+// NewPGraph returns an empty partitioner graph with n vertices.
+func NewPGraph(n int) *PGraph { return partition.NewGraph(n) }
+
+// NewDAG returns an empty task dependency graph.
+func NewDAG() *DAG { return graph.New() }
+
+// FromDAG symmetrizes a DAG for partitioning.
+func FromDAG(d *DAG) *PGraph { return partition.FromDAG(d) }
+
+// DefaultPartitionOptions returns the RGP policies' partitioner settings.
+func DefaultPartitionOptions(parts int) PartitionOptions {
+	return partition.DefaultOptions(parts)
+}
+
+// Partition computes a k-way partition of g.
+func Partition(g *PGraph, opt PartitionOptions) ([]int32, partition.Stats, error) {
+	return partition.Partition(g, opt)
+}
+
+// MapOnto statically maps g onto a NUMA architecture (dual recursive
+// bipartitioning).
+func MapOnto(g *PGraph, arch *Arch, opt PartitionOptions) ([]int32, partition.Stats, error) {
+	return partition.MapOnto(g, arch, opt)
+}
+
+// Tracing.
+type (
+	// TraceRecorder collects task execution spans (implements the
+	// runtime's Observer).
+	TraceRecorder = trace.Recorder
+)
+
+// NewTraceRecorder returns an empty trace recorder; pass it in
+// RuntimeOptions.Observer.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }

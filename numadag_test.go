@@ -1,0 +1,95 @@
+package numadag_test
+
+import (
+	"testing"
+
+	"numadag"
+)
+
+func TestFacadeQuickstartWorkflow(t *testing.T) {
+	cfg := numadag.DefaultConfig("jacobi", "RGP+LAS", numadag.ScaleTiny)
+	res, err := numadag.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Makespan <= 0 {
+		t.Fatal("zero makespan through facade")
+	}
+	if res.Stats.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestFacadeCustomApp(t *testing.T) {
+	eng := numadag.NewEngine()
+	m := numadag.NewMachine(numadag.TwoSocketXeon(), eng)
+	pol, err := numadag.NewPolicy("LAS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := numadag.NewRuntime(m, pol, numadag.DefaultRuntimeOptions())
+	a := r.Mem().Alloc("a", 64<<10, numadag.Deferred, 0)
+	b := r.Mem().Alloc("b", 64<<10, numadag.Deferred, 0)
+	r.Submit(numadag.TaskSpec{Label: "produce", Flops: 1000,
+		Accesses: []numadag.Access{{Region: a, Mode: numadag.Out}},
+		EPSocket: numadag.NoEPHint})
+	r.Submit(numadag.TaskSpec{Label: "transform", Flops: 2000,
+		Accesses: []numadag.Access{{Region: a, Mode: numadag.In}, {Region: b, Mode: numadag.Out}},
+		EPSocket: numadag.NoEPHint})
+	res := r.Run()
+	if res.TasksRun != 2 {
+		t.Fatalf("ran %d tasks", res.TasksRun)
+	}
+}
+
+func TestFacadePartitioner(t *testing.T) {
+	g := numadag.NewPGraph(6)
+	for v := 0; v < 6; v++ {
+		g.SetVertexWeight(v, 1)
+	}
+	// Two triangles joined by one edge.
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(0, 2, 10)
+	g.AddEdge(3, 4, 10)
+	g.AddEdge(4, 5, 10)
+	g.AddEdge(3, 5, 10)
+	g.AddEdge(2, 3, 1)
+	part, st, err := numadag.Partition(g, numadag.DefaultPartitionOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EdgeCut != 1 {
+		t.Fatalf("cut = %d, want 1", st.EdgeCut)
+	}
+	if part[0] != part[1] || part[3] != part[4] || part[0] == part[3] {
+		t.Fatalf("triangles split: %v", part)
+	}
+}
+
+func TestFacadeNames(t *testing.T) {
+	if len(numadag.AppNames()) != 8 {
+		t.Fatalf("apps: %v", numadag.AppNames())
+	}
+	if len(numadag.PolicyNames()) != 4 {
+		t.Fatalf("policies: %v", numadag.PolicyNames())
+	}
+}
+
+func TestFacadeTraceRecorder(t *testing.T) {
+	eng := numadag.NewEngine()
+	m := numadag.NewMachine(numadag.TwoSocketXeon(), eng)
+	pol, _ := numadag.NewPolicy("DFIFO")
+	rec := numadag.NewTraceRecorder()
+	opts := numadag.DefaultRuntimeOptions()
+	opts.Observer = rec
+	r := numadag.NewRuntime(m, pol, opts)
+	reg := r.Mem().Alloc("x", 4096, numadag.Deferred, 0)
+	r.Submit(numadag.TaskSpec{Label: "t", Flops: 100,
+		Accesses: []numadag.Access{{Region: reg, Mode: numadag.Out}},
+		EPSocket: numadag.NoEPHint})
+	r.Run()
+	if rec.Len() != 1 {
+		t.Fatalf("trace recorded %d events", rec.Len())
+	}
+}
