@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test test-short bench bench-sim bench-json vet clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark families (paper figures + ablations).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Simulator hot-path families only: the Figure-1 runs plus the sim
+# micro-benchmarks whose allocs/op pin the zero-allocation contract.
+bench-sim:
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure1|BenchmarkAblationSockets' -benchmem .
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/sim/
+
+# Machine-readable perf trajectory: writes BENCH_sim.json.
+bench-json:
+	./scripts/bench_sim.sh
+
+clean:
+	rm -f BENCH_sim.json *.test *.out *.prof

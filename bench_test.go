@@ -27,9 +27,12 @@ import (
 	"numadag/internal/rt"
 )
 
-// runSim executes one configuration and reports simulated time.
+// runSim executes one configuration and reports simulated time. Alloc
+// figures are reported too: the simulator core is allocation-free in steady
+// state, so allocs/op here tracks the remaining task-setup overhead.
 func runSim(b *testing.B, cfg core.Config) {
 	b.Helper()
+	b.ReportAllocs()
 	var last float64
 	for i := 0; i < b.N; i++ {
 		cfg.Runtime.Seed = uint64(i + 1)

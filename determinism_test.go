@@ -1,0 +1,136 @@
+// Determinism / equivalence suite for the simulator hot path.
+//
+// Every app x policy combination runs at ScaleSmall for three seeds and the
+// triple (Makespan, Engine.Steps, Net.TotalBytes) is checked against a golden
+// file. The makespan and byte totals pin down the *simulated physics* — any
+// change to the fluid-network allocation or event ordering that alters them
+// is a behaviour change, not an optimisation. The step count pins down the
+// event structure itself, so even a silent re-ordering of same-instant events
+// shows up.
+//
+// Regenerate the goldens (only when a behaviour change is intended) with:
+//
+//	go test -run TestDeterminismGolden -update-golden
+package numadag_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"numadag"
+	"numadag/internal/apps"
+	"numadag/internal/core"
+	"numadag/internal/machine"
+	"numadag/internal/rt"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/determinism.json")
+
+// goldenEntry is one (app, policy, seed) cell of the golden table.
+type goldenEntry struct {
+	Makespan   int64   `json:"makespan_ns"`
+	Steps      uint64  `json:"engine_steps"`
+	TotalBytes float64 `json:"total_bytes"`
+}
+
+const goldenPath = "testdata/determinism.json"
+
+// determinismPolicies are the scheduling configurations pinned by the suite:
+// the four Figure-1 policies plus the repartitioning RGP variant.
+var determinismPolicies = []string{"LAS", "DFIFO", "RGP+LAS", "EP", "RGP"}
+
+func runCell(t testing.TB, appName, polName string, seed uint64) goldenEntry {
+	app, err := apps.ByName(appName, apps.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := core.NewPolicy(polName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := numadag.NewEngine()
+	m := numadag.NewMachine(machine.BullionS16(), eng)
+	opts := rt.DefaultOptions()
+	opts.Seed = seed
+	r := rt.NewRuntime(m, pol, opts)
+	app.Build(r)
+	res := r.Run()
+	return goldenEntry{
+		Makespan:   int64(res.Makespan),
+		Steps:      eng.Steps(),
+		TotalBytes: m.Net().TotalBytes,
+	}
+}
+
+func cellKey(app, pol string, seed uint64) string {
+	return fmt.Sprintf("%s/%s/seed%d", app, pol, seed)
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep is not short")
+	}
+	got := make(map[string]goldenEntry)
+	for _, app := range apps.Names() {
+		for _, pol := range determinismPolicies {
+			for seed := uint64(1); seed <= 3; seed++ {
+				got[cellKey(app, pol, seed)] = runCell(t, app, pol, seed)
+			}
+		}
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(got), goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden has %d entries, run produced %d", len(want), len(got))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("%s: missing from run", k)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: got {makespan %d, steps %d, bytes %.0f}, want {makespan %d, steps %d, bytes %.0f}",
+				k, g.Makespan, g.Steps, g.TotalBytes, w.Makespan, w.Steps, w.TotalBytes)
+		}
+	}
+}
+
+// TestDeterminismRepeatable double-runs a representative subset in-process and
+// demands bit-identical results — catches nondeterminism that a golden file
+// (generated once) cannot, e.g. map-iteration order leaking into allocation.
+func TestDeterminismRepeatable(t *testing.T) {
+	for _, app := range []string{"jacobi", "qr", "nstream"} {
+		for _, pol := range []string{"LAS", "RGP+LAS"} {
+			a := runCell(t, app, pol, 7)
+			b := runCell(t, app, pol, 7)
+			if a != b {
+				t.Errorf("%s/%s: two identical runs diverged: %+v vs %+v", app, pol, a, b)
+			}
+		}
+	}
+}

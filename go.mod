@@ -1,0 +1,3 @@
+module numadag
+
+go 1.22

@@ -186,6 +186,11 @@ type Machine struct {
 	net   *sim.Net
 	mcs   []*sim.Resource // one memory controller per socket
 	ports []*sim.Resource // one interconnect port per socket
+	// paths[home][exec] is the precomputed contended-resource path of a
+	// transfer from memory homed on socket home to a core on socket exec.
+	// Transfers are the simulator's hottest call site; sharing immutable
+	// path slices keeps them allocation-free.
+	paths [][][]*sim.Resource
 }
 
 // New instantiates the config over eng. It panics on an invalid config
@@ -199,6 +204,17 @@ func New(cfg Config, eng *sim.Engine) *Machine {
 	for s := 0; s < cfg.Sockets; s++ {
 		m.mcs = append(m.mcs, m.net.NewResource(fmt.Sprintf("mc%d", s), cfg.MemBandwidth))
 		m.ports = append(m.ports, m.net.NewResource(fmt.Sprintf("port%d", s), cfg.LinkBandwidth))
+	}
+	m.paths = make([][][]*sim.Resource, cfg.Sockets)
+	for home := 0; home < cfg.Sockets; home++ {
+		m.paths[home] = make([][]*sim.Resource, cfg.Sockets)
+		for exec := 0; exec < cfg.Sockets; exec++ {
+			if home == exec {
+				m.paths[home][exec] = []*sim.Resource{m.mcs[home]}
+			} else {
+				m.paths[home][exec] = []*sim.Resource{m.mcs[home], m.ports[home]}
+			}
+		}
 	}
 	return m
 }
@@ -249,11 +265,9 @@ func (m *Machine) Latency(from, to int) sim.Time {
 // the port is where a socket's memory is served to the rest of the machine,
 // and saturating it is the dominant NUMA collapse mode on glued systems
 // like the bullion (every socket's port drowns when placement scatters).
+// The returned slice is shared and must not be mutated.
 func (m *Machine) Path(home, exec int) []*sim.Resource {
-	if home == exec {
-		return []*sim.Resource{m.mcs[home]}
-	}
-	return []*sim.Resource{m.mcs[home], m.ports[home]}
+	return m.paths[home][exec]
 }
 
 // CoreBandwidth returns the bandwidth a single core can sustain against

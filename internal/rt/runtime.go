@@ -85,6 +85,12 @@ type Runtime struct {
 	// explicit Barrier.
 	curWindow   int
 	windowCount int
+
+	// Hot-path scratch, reused across calls (the runtime is single-threaded
+	// on the engine goroutine): per-home byte totals for read/write phases
+	// and the sorted victim list for cross-socket stealing.
+	scratchHome []int64
+	victims     []stealVictim
 	// barrierTask, when non-nil, is the synchronization task every
 	// subsequently submitted task must depend on (taskwait semantics).
 	barrierTask *Task
@@ -115,6 +121,8 @@ func NewRuntime(m *machine.Machine, pol Policy, opts Options) *Runtime {
 	}
 	r.coreBusy = make([]bool, m.Cores())
 	r.coreTask = make([]*Task, m.Cores())
+	r.scratchHome = make([]int64, m.Sockets())
+	r.victims = make([]stealVictim, 0, m.Sockets())
 	r.stats.BusyTime = make([]sim.Time, m.Cores())
 	r.stats.SocketTasks = make([]int, m.Sockets())
 	if v, ok := pol.(StealVeto); ok && v.VetoSteal() {
@@ -450,6 +458,9 @@ func (r *Runtime) dispatch(core int) {
 	r.execute(core, t)
 }
 
+// stealVictim pairs a candidate victim socket with its hop distance.
+type stealVictim struct{ s, d int }
+
 func (r *Runtime) pickWork(core int) *Task {
 	if q := r.coreQ[core]; len(q) > 0 {
 		t := q[0]
@@ -480,11 +491,10 @@ func (r *Runtime) pickWork(core int) *Task {
 	// Cross-socket steal: visit victims nearest-first (then lowest index),
 	// and only rob sockets whose backlog exceeds the threshold — queues a
 	// victim will drain shortly are left alone, protecting locality.
-	type victim struct{ s, d int }
-	victims := make([]victim, 0, r.mach.Sockets()-1)
+	victims := r.victims[:0]
 	for v := 0; v < r.mach.Sockets(); v++ {
 		if v != s {
-			victims = append(victims, victim{s: v, d: r.mach.Hops(s, v)})
+			victims = append(victims, stealVictim{s: v, d: r.mach.Hops(s, v)})
 		}
 	}
 	for i := 1; i < len(victims); i++ {
@@ -548,7 +558,10 @@ func (r *Runtime) execute(core int, t *Task) {
 // reader allocates, as Linux would).
 func (r *Runtime) readPhase(core int, t *Task, done func()) {
 	socket := r.mach.SocketOf(core)
-	perHome := make([]int64, r.mach.Sockets())
+	perHome := r.scratchHome
+	for i := range perHome {
+		perHome[i] = 0
+	}
 	for _, a := range t.Accesses {
 		if !a.Mode.Reads() {
 			continue
@@ -568,7 +581,10 @@ func (r *Runtime) readPhase(core int, t *Task, done func()) {
 // task's output lands on the socket it ran on.
 func (r *Runtime) writePhase(core int, t *Task, done func()) {
 	socket := r.mach.SocketOf(core)
-	perHome := make([]int64, r.mach.Sockets())
+	perHome := r.scratchHome
+	for i := range perHome {
+		perHome[i] = 0
+	}
 	for _, a := range t.Accesses {
 		if !a.Mode.Writes() {
 			continue

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+)
+
+// BenchmarkReallocate measures one max-min water-filling pass over a
+// contended 8-socket-like network (16 resources, 32 capped flows crossing
+// one or two resources each — the machine.Transfer shape).
+func BenchmarkReallocate(b *testing.B) {
+	e := NewEngine()
+	n := NewNet(e)
+	rs := make([]*Resource, 16)
+	for i := range rs {
+		rs[i] = n.NewResource("r", 30)
+	}
+	paths := make([][]*Resource, 32)
+	for i := range paths {
+		if i%2 == 0 {
+			paths[i] = []*Resource{rs[i%16]}
+		} else {
+			paths[i] = []*Resource{rs[i%16], rs[(i+1)%16]}
+		}
+	}
+	for i := 0; i < 32; i++ {
+		n.StartFlowCapped(1e12, paths[i], 0.64, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.reallocate()
+	}
+}
+
+// BenchmarkFlowChurn measures the steady-state start/finish cycle: a working
+// set of ~32 flows over 8 resources with completions and reallocations
+// interleaved. The allocs/op of this benchmark is the package's zero-
+// allocation contract — event slots, Flow structs and scratch buffers are
+// all recycled, so steady state allocates nothing.
+func BenchmarkFlowChurn(b *testing.B) {
+	e := NewEngine()
+	n := NewNet(e)
+	rs := make([]*Resource, 8)
+	paths := make([][]*Resource, 8)
+	for i := range rs {
+		rs[i] = n.NewResource("mc", 30)
+		paths[i] = []*Resource{rs[i]}
+	}
+	// Prime the working set and the free lists before measuring.
+	for i := 0; i < 64; i++ {
+		n.StartFlow(4096, paths[i%8], nil)
+		if n.ActiveFlows() > 32 {
+			e.Step()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.StartFlow(4096, paths[i%8], nil)
+		for n.ActiveFlows() > 32 {
+			e.Step()
+		}
+	}
+	b.StopTimer()
+	e.Run()
+}
+
+// BenchmarkTimerChurn measures schedule/cancel traffic on the indexed event
+// heap — the pattern the fluid network's completion event generates.
+func BenchmarkTimerChurn(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	// Keep a rolling window of pending timers.
+	var pending [64]Timer
+	for i := range pending {
+		pending[i] = e.At(Time(i+1)<<20, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % len(pending)
+		pending[slot].Stop()
+		pending[slot] = e.At(e.Now()+Time(1+i%1024), fn)
+		if i%16 == 0 {
+			e.Step()
+		}
+	}
+}
+
+// TestFlowChurnSteadyStateAllocs pins the zero-allocation contract in the
+// regular test suite, so a regression fails `go test` rather than only
+// showing up in benchmark numbers.
+func TestFlowChurnSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	n := NewNet(e)
+	rs := make([]*Resource, 8)
+	paths := make([][]*Resource, 8)
+	for i := range rs {
+		rs[i] = n.NewResource("mc", 30)
+		paths[i] = []*Resource{rs[i]}
+	}
+	for i := 0; i < 64; i++ {
+		n.StartFlow(4096, paths[i%8], nil)
+		if n.ActiveFlows() > 32 {
+			e.Step()
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		n.StartFlow(4096, paths[i%8], nil)
+		for n.ActiveFlows() > 32 {
+			e.Step()
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state flow churn allocates %v objects per op, want 0", avg)
+	}
+}

@@ -3,9 +3,9 @@
 //
 // Two layers live here:
 //
-//   - Engine: a classic event-heap simulator with integer-nanosecond time.
-//     Events scheduled for the same instant fire in scheduling order, which
-//     makes every run bit-reproducible.
+//   - Engine: an event-heap simulator with integer-nanosecond time. Events
+//     scheduled for the same instant fire in scheduling order, which makes
+//     every run bit-reproducible.
 //   - Net: a fluid-flow network on top of Engine. A Flow is a volume of bytes
 //     crossing a set of shared Resources (memory controllers, inter-socket
 //     links); the rate of every active flow is the max-min fair allocation
@@ -15,10 +15,46 @@
 // simulation when the quantities of interest are bandwidth contention and
 // completion times rather than per-request behaviour; it is what lets an
 // 8-socket bullion S16 run inside a unit test.
+//
+// # Hot-path design
+//
+// Both layers are engineered for allocation-free steady-state operation —
+// the reallocation loop is >half the CPU of every paper-scale sweep, so the
+// structures are dense and recycled rather than pointer-built per call:
+//
+//   - The event queue is an indexed binary heap of slot IDs over a value
+//     arena ([]event). Slots are recycled through a free list, Timer handles
+//     are (slot, generation) values so Stop after reuse is a safe no-op, and
+//     Stop removes the slot from the heap immediately — the heap never holds
+//     cancelled events, so Pending is len(heap) and Step never skips.
+//   - Net keeps active flows in a dense slice ordered by ascending flow ID
+//     (the deterministic iteration order), reuses per-resource scratch
+//     buffers across reallocate calls, and answers "does flow f cross
+//     resource r" with a bitset when the network has at most 64 resources.
+//   - Finished Flow structs are recycled through a free list; a *Flow handle
+//     is valid for inspection until the next StartFlow call on the same Net
+//     after the flow completes.
+//   - Instead of one completion timer per flow (cancelled and rescheduled on
+//     every reallocation), the Net keeps a single earliest-completion event.
+//     Per-flow deadlines are tracked as plain (Time, sequence) fields; when
+//     the event fires, the due flow with the earliest (deadline, sequence)
+//     finishes, reallocation recomputes deadlines, and the one event is
+//     rescheduled. Completion order is identical to the per-flow-timer
+//     design because the engine fires same-instant events in scheduling
+//     order and deadlines are assigned in that same order.
+//
+// # Determinism contract
+//
+// For a fixed event schedule, Engine.Run visits events in (time, scheduling
+// seq) order and Engine.Steps counts only live events — two identical
+// configurations produce bit-identical (Makespan, Steps, TotalBytes)
+// triples. The top-level determinism suite (determinism_test.go) golden-
+// checks that triple for every app x policy x seed; any change to this
+// package that moves those goldens is a behaviour change, not an
+// optimisation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -51,37 +87,23 @@ func (t Time) String() string {
 // Seconds returns the time as a floating-point number of seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
+// event is one arena slot. A slot is live while pos >= 0; gen increments on
+// every release so stale Timer handles can never touch a recycled slot.
 type event struct {
 	at  Time
 	seq uint64 // tiebreaker: FIFO among same-instant events
 	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	gen uint32
+	pos int32 // index in Engine.heap, -1 when free
 }
 
 // Engine is a deterministic discrete-event simulator. The zero value is not
 // usable; create one with NewEngine.
 type Engine struct {
 	now    Time
-	events eventHeap
+	slots  []event // value arena; heap entries index into it
+	free   []int32 // recycled slot IDs
+	heap   []int32 // binary heap of live slot IDs, ordered by (at, seq)
 	seq    uint64
 	nSteps uint64
 }
@@ -98,26 +120,106 @@ func (e *Engine) Now() Time { return e.now }
 // determinism probe for tests.
 func (e *Engine) Steps() uint64 { return e.nSteps }
 
-// Timer is a handle to a scheduled event that can be cancelled before it
-// fires. Cancelled events are skipped without advancing the clock, so stale
-// timers never stretch a run's final time.
+// Timer is a value handle to a scheduled event that can be cancelled before
+// it fires. The zero Timer is inert. Cancelled events are removed from the
+// queue immediately, so stale timers neither stretch a run's final time nor
+// occupy heap space.
 type Timer struct {
-	ev *event
+	e    *Engine
+	slot int32
+	gen  uint32
 }
 
 // Stop cancels the event if it has not fired yet. Stopping an already-fired
-// or already-stopped timer is a no-op.
-func (t *Timer) Stop() {
-	if t != nil && t.ev != nil {
-		t.ev.fn = nil
-		t.ev = nil
+// or already-stopped timer (or the zero Timer) is a no-op.
+func (t Timer) Stop() {
+	if t.e == nil {
+		return
 	}
+	s := &t.e.slots[t.slot]
+	if s.gen != t.gen || s.pos < 0 {
+		return // already fired, stopped, or slot recycled
+	}
+	t.e.removeAt(int(s.pos))
+}
+
+// less orders live slots by (at, seq).
+func (e *Engine) less(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	id := e.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(id, e.heap[parent]) {
+			break
+		}
+		e.heap[i] = e.heap[parent]
+		e.slots[e.heap[i]].pos = int32(i)
+		i = parent
+	}
+	e.heap[i] = id
+	e.slots[id].pos = int32(i)
+}
+
+// siftDown reports whether the element at i moved down.
+func (e *Engine) siftDown(i int) bool {
+	id := e.heap[i]
+	start := i
+	n := len(e.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && e.less(e.heap[r], e.heap[l]) {
+			child = r
+		}
+		if !e.less(e.heap[child], id) {
+			break
+		}
+		e.heap[i] = e.heap[child]
+		e.slots[e.heap[i]].pos = int32(i)
+		i = child
+	}
+	e.heap[i] = id
+	e.slots[id].pos = int32(i)
+	return i > start
+}
+
+// removeAt unlinks the slot at heap position i and releases it to the free
+// list.
+func (e *Engine) removeAt(i int) {
+	id := e.heap[i]
+	last := len(e.heap) - 1
+	if i != last {
+		e.heap[i] = e.heap[last]
+		e.slots[e.heap[i]].pos = int32(i)
+	}
+	e.heap = e.heap[:last]
+	if i != last && i < len(e.heap) {
+		// The moved entry may need to travel either direction.
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
+	s := &e.slots[id]
+	s.fn = nil // release the closure for GC
+	s.pos = -1
+	s.gen++
+	e.free = append(e.free, id)
 }
 
 // At schedules fn to run at absolute time t and returns a cancellation
 // handle. Scheduling in the past panics: it is always a simulator bug, never
 // a recoverable condition.
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) At(t Time, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
@@ -125,36 +227,45 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 		panic("sim: scheduling nil event function")
 	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	var id int32
+	if n := len(e.free); n > 0 {
+		id = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, event{pos: -1})
+		id = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[id]
+	s.at, s.seq, s.fn = t, e.seq, fn
+	s.pos = int32(len(e.heap))
+	e.heap = append(e.heap, id)
+	e.siftUp(len(e.heap) - 1)
+	return Timer{e: e, slot: id, gen: s.gen}
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (e *Engine) After(d Time, fn func()) *Timer {
+func (e *Engine) After(d Time, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.At(e.now+d, fn)
 }
 
-// Step executes the next live event, advancing the clock to its timestamp.
-// Cancelled events are discarded without touching the clock. It reports
-// whether a live event was executed.
+// Step executes the next event, advancing the clock to its timestamp. It
+// reports whether an event was executed. (Cancelled events are removed at
+// Stop time, so every queued event is live.)
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.fn == nil {
-			continue // cancelled
-		}
-		e.now = ev.at
-		e.nSteps++
-		fn := ev.fn
-		ev.fn = nil
-		fn()
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	id := e.heap[0]
+	s := &e.slots[id]
+	e.now = s.at
+	e.nSteps++
+	fn := s.fn
+	e.removeAt(0)
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains and returns the final time.
@@ -168,22 +279,15 @@ func (e *Engine) Run() Time {
 // queued, and advances the clock to min(deadline, last event time). It
 // reports whether the queue drained.
 func (e *Engine) RunUntil(deadline Time) bool {
-	for len(e.events) > 0 && e.events[0].at <= deadline {
+	for len(e.heap) > 0 && e.slots[e.heap[0]].at <= deadline {
 		e.Step()
 	}
-	if e.now < deadline && e.Pending() > 0 {
+	if e.now < deadline && len(e.heap) > 0 {
 		e.now = deadline
 	}
-	return e.Pending() == 0
+	return len(e.heap) == 0
 }
 
-// Pending returns the number of live (non-cancelled) queued events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if ev.fn != nil {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of queued events. Stopped timers leave the
+// queue immediately, so this is a live count, in O(1).
+func (e *Engine) Pending() int { return len(e.heap) }

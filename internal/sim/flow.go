@@ -52,6 +52,12 @@ func (r *Resource) Capacity() float64 { return r.capacity }
 func (r *Resource) ActiveFlows() int { return r.flows }
 
 // Flow is an in-flight transfer of a byte volume across a path of resources.
+//
+// Flow structs are recycled: the *Flow returned by StartFlow is valid for
+// inspection while the flow is active and remains readable after completion,
+// but only until the next StartFlow call on the same Net — at that point the
+// struct may be reused for the new flow. Callers that need post-completion
+// data should copy it out in the done callback.
 type Flow struct {
 	id         int
 	volume     float64 // total bytes of the transfer
@@ -59,11 +65,19 @@ type Flow struct {
 	rate       float64 // bytes/ns, current max-min allocation
 	maxRate    float64 // per-flow rate cap (source concurrency limit)
 	path       []*Resource
+	mask       uint64 // bitset over path resource IDs; valid when !wide
+	wide       bool   // some path resource has id >= 64: fall back to scans
 	lastUpdate Time
-	pending    *Timer // current completion event; stopped on reallocation
 	done       func()
 	net        *Net
 	finished   bool
+
+	// Reallocation / completion-tracking state, owned by Net.
+	frozen   bool   // scratch flag for the water-filling loop
+	idx      int    // position in Net.active
+	deadline Time   // completion event time as of the last reallocation
+	dseq     uint64 // tiebreaker mirroring engine event seq order
+	starved  bool   // rate is 0 (or non-finite volume math): no deadline
 }
 
 // Volume returns the total byte volume of the transfer.
@@ -86,13 +100,44 @@ func (f *Flow) Remaining() float64 {
 // Rate returns the current fair-share rate in bytes/ns.
 func (f *Flow) Rate() float64 { return f.rate }
 
+// crosses reports whether the flow's path includes r — a bitset test when
+// every path resource has an ID below 64 (always true for the machines the
+// paper evaluates: 2 resources per socket), a linear scan otherwise.
+func (f *Flow) crosses(r *Resource) bool {
+	if !f.wide {
+		if r.id >= 64 {
+			return false
+		}
+		return f.mask&(1<<uint(r.id)) != 0
+	}
+	for _, rr := range f.path {
+		if rr == r {
+			return true
+		}
+	}
+	return false
+}
+
 // Net is a fluid-flow network bound to an Engine. All methods must be called
 // from the engine goroutine (the simulator is single-threaded by design).
 type Net struct {
 	eng       *Engine
 	resources []*Resource
-	flows     map[int]*Flow
+	active    []*Flow // in-flight flows, ascending id (deterministic order)
+	freeFlows []*Flow // recycled Flow structs
 	nextFlow  int
+
+	// Scratch buffers reused by reallocate, len == len(resources).
+	residual []float64
+	unfrozen []int
+	sums     []float64
+
+	// Single earliest-completion event; completeFn is allocated once so
+	// rescheduling never creates a new closure.
+	pending    Timer
+	completeFn func()
+	dcounter   uint64 // deadline assignment counter (see Flow.dseq)
+
 	// TotalBytes accumulates the volume completed through the network,
 	// a convenient global traffic counter for statistics.
 	TotalBytes float64
@@ -100,7 +145,9 @@ type Net struct {
 
 // NewNet creates an empty flow network driven by eng.
 func NewNet(eng *Engine) *Net {
-	return &Net{eng: eng, flows: make(map[int]*Flow)}
+	n := &Net{eng: eng}
+	n.completeFn = n.onComplete
+	return n
 }
 
 // NewResource registers a shared resource with the given capacity in
@@ -111,6 +158,9 @@ func (n *Net) NewResource(name string, capacity float64) *Resource {
 	}
 	r := &Resource{id: len(n.resources), name: name, capacity: capacity}
 	n.resources = append(n.resources, r)
+	n.residual = append(n.residual, 0)
+	n.unfrozen = append(n.unfrozen, 0)
+	n.sums = append(n.sums, 0)
 	return r
 }
 
@@ -118,7 +168,7 @@ func (n *Net) NewResource(name string, capacity float64) *Resource {
 // the last byte arrives. A flow with an empty path or zero bytes completes
 // after zero simulated time (via an immediate event, preserving event order).
 // The returned flow can be inspected but not cancelled; flows always run to
-// completion.
+// completion. See Flow for the handle-recycling contract.
 func (n *Net) StartFlow(bytes float64, path []*Resource, done func()) *Flow {
 	return n.StartFlowCapped(bytes, path, math.Inf(1), done)
 }
@@ -134,8 +184,35 @@ func (n *Net) StartFlowCapped(bytes float64, path []*Resource, maxRate float64, 
 	if maxRate <= 0 {
 		panic(fmt.Sprintf("sim: non-positive flow rate cap %v", maxRate))
 	}
+	if bytes == 0 || len(path) == 0 {
+		// Immediate completion; never enters the active set or the pool.
+		n.nextFlow++
+		f := &Flow{
+			id:         n.nextFlow,
+			volume:     bytes,
+			maxRate:    maxRate,
+			path:       path,
+			lastUpdate: n.eng.Now(),
+			net:        n,
+			finished:   true,
+		}
+		n.TotalBytes += bytes
+		if done != nil {
+			n.eng.After(0, done)
+		} else {
+			n.eng.After(0, noop)
+		}
+		return f
+	}
 	n.nextFlow++
-	f := &Flow{
+	var f *Flow
+	if k := len(n.freeFlows); k > 0 {
+		f = n.freeFlows[k-1]
+		n.freeFlows = n.freeFlows[:k-1]
+	} else {
+		f = &Flow{}
+	}
+	*f = Flow{
 		id:         n.nextFlow,
 		volume:     bytes,
 		remaining:  bytes,
@@ -145,18 +222,16 @@ func (n *Net) StartFlowCapped(bytes float64, path []*Resource, maxRate float64, 
 		done:       done,
 		net:        n,
 	}
-	if bytes == 0 || len(path) == 0 {
-		f.finished = true
-		n.TotalBytes += bytes
-		n.eng.After(0, func() {
-			if f.done != nil {
-				f.done()
-			}
-		})
-		return f
+	for _, r := range f.path {
+		if r.id >= 64 {
+			f.wide = true
+			break
+		}
+		f.mask |= 1 << uint(r.id)
 	}
 	n.progressAll()
-	n.flows[f.id] = f
+	f.idx = len(n.active)
+	n.active = append(n.active, f) // ids are monotonic: append keeps order
 	for _, r := range f.path {
 		r.flows++
 	}
@@ -164,14 +239,19 @@ func (n *Net) StartFlowCapped(bytes float64, path []*Resource, maxRate float64, 
 	return f
 }
 
+// noop keeps zero-work flows on the event queue (their completion still
+// occupies one engine step, preserving event ordering) without allocating a
+// closure per flow.
+func noop() {}
+
 // ActiveFlows returns the number of in-flight flows.
-func (n *Net) ActiveFlows() int { return len(n.flows) }
+func (n *Net) ActiveFlows() int { return len(n.active) }
 
 // progressAll advances every active flow's remaining volume to the current
 // time using its rate since the last update.
 func (n *Net) progressAll() {
 	now := n.eng.Now()
-	for _, f := range n.flows {
+	for _, f := range n.active {
 		elapsed := float64(now - f.lastUpdate)
 		if elapsed > 0 {
 			f.remaining -= elapsed * f.rate
@@ -183,66 +263,72 @@ func (n *Net) progressAll() {
 	}
 }
 
+// freezeFlow fixes a flow's rate and removes its demand from the residual
+// capacities. Part of the water-filling loop in reallocate.
+func (n *Net) freezeFlow(f *Flow, rate float64) {
+	f.rate = rate
+	f.frozen = true
+	for _, rr := range f.path {
+		n.residual[rr.id] -= rate
+		if n.residual[rr.id] < 0 {
+			n.residual[rr.id] = 0
+		}
+		n.unfrozen[rr.id]--
+	}
+}
+
 // reallocate computes the max-min fair rate for every active flow
-// (water-filling with per-flow caps) and reschedules completion events.
+// (water-filling with per-flow caps) and reschedules the single completion
+// event.
 //
 // Water-filling: repeatedly find the binding constraint — either the
 // bottleneck resource (smallest per-unfrozen-flow fair share) or an unfrozen
 // flow whose own cap is below that share — freeze the affected flows,
 // subtract their consumption from every resource they cross, repeat.
+//
+// Everything here runs on per-Net scratch buffers and dense slices: no
+// allocation, no map iteration, no sorting. Flows are visited in ascending
+// ID order (the order of n.active), which both makes runs bit-reproducible
+// and matches the order completion timers were historically scheduled in.
 func (n *Net) reallocate() {
-	if len(n.flows) == 0 {
+	now := n.eng.Now()
+	if len(n.active) == 0 {
 		for _, r := range n.resources {
-			r.settle(n.eng.Now(), 0)
+			r.settle(now, 0)
 		}
+		n.pending.Stop()
+		n.pending = Timer{}
 		return
 	}
-	residual := make([]float64, len(n.resources))
-	unfrozen := make([]int, len(n.resources))
-	for _, r := range n.resources {
-		residual[r.id] = r.capacity
-		unfrozen[r.id] = 0
+	residual, unfrozen := n.residual, n.unfrozen
+	for i, r := range n.resources {
+		residual[i] = r.capacity
+		unfrozen[i] = 0
 	}
-	// Deterministic iteration order: flow ids are monotonically assigned.
-	ids := make([]int, 0, len(n.flows))
-	for id := range n.flows {
-		ids = append(ids, id)
-	}
-	sortInts(ids)
-	frozen := make(map[int]bool, len(n.flows))
-	for _, id := range ids {
-		for _, r := range n.flows[id].path {
+	for _, f := range n.active {
+		f.frozen = false
+		for _, r := range f.path {
 			unfrozen[r.id]++
 		}
 	}
-	freeze := func(f *Flow, rate float64) {
-		f.rate = rate
-		frozen[f.id] = true
-		for _, rr := range f.path {
-			residual[rr.id] -= rate
-			if residual[rr.id] < 0 {
-				residual[rr.id] = 0
-			}
-			unfrozen[rr.id]--
-		}
-	}
-	for len(frozen) < len(ids) {
+	left := len(n.active)
+	for left > 0 {
 		// Bottleneck-resource share.
 		share := math.Inf(1)
-		for _, r := range n.resources {
-			if unfrozen[r.id] == 0 {
+		for id := range n.resources {
+			if unfrozen[id] == 0 {
 				continue
 			}
-			if s := residual[r.id] / float64(unfrozen[r.id]); s < share {
+			if s := residual[id] / float64(unfrozen[id]); s < share {
 				share = s
 			}
 		}
 		// A flow whose cap is at or below the share binds first.
 		capBound := false
-		for _, id := range ids {
-			f := n.flows[id]
-			if !frozen[id] && f.maxRate <= share {
-				freeze(f, f.maxRate)
+		for _, f := range n.active {
+			if !f.frozen && f.maxRate <= share {
+				n.freezeFlow(f, f.maxRate)
+				left--
 				capBound = true
 			}
 		}
@@ -252,10 +338,11 @@ func (n *Net) reallocate() {
 		if math.IsInf(share, 1) {
 			// Remaining flows cross no contended resource; cannot happen
 			// because every flow has a non-empty path, but guard anyway.
-			for _, id := range ids {
-				if !frozen[id] {
-					n.flows[id].rate = n.flows[id].maxRate
-					frozen[id] = true
+			for _, f := range n.active {
+				if !f.frozen {
+					f.rate = f.maxRate
+					f.frozen = true
+					left--
 				}
 			}
 			break
@@ -269,12 +356,12 @@ func (n *Net) reallocate() {
 			if residual[r.id]/float64(unfrozen[r.id]) > share*(1+1e-12) {
 				continue
 			}
-			for _, id := range ids {
-				f := n.flows[id]
-				if frozen[id] || !crosses(f, r) {
+			for _, f := range n.active {
+				if f.frozen || !f.crosses(r) {
 					continue
 				}
-				freeze(f, share)
+				n.freezeFlow(f, share)
+				left--
 				progressed = true
 			}
 		}
@@ -283,10 +370,11 @@ func (n *Net) reallocate() {
 		}
 	}
 	// Settle per-resource rate integrals with the fresh allocation.
-	now := n.eng.Now()
-	sums := make([]float64, len(n.resources))
-	for _, id := range ids {
-		f := n.flows[id]
+	sums := n.sums
+	for i := range sums {
+		sums[i] = 0
+	}
+	for _, f := range n.active {
 		for _, res := range f.path {
 			sums[res.id] += f.rate
 		}
@@ -294,65 +382,132 @@ func (n *Net) reallocate() {
 	for _, res := range n.resources {
 		res.settle(now, sums[res.id])
 	}
-	// Reschedule completions, cancelling superseded events so they neither
-	// fire nor inflate the run's final time.
-	for _, id := range ids {
-		f := n.flows[id]
-		f.pending.Stop()
-		var dt Time
-		if f.rate <= 0 || math.IsInf(f.rate, 1) {
-			dt = 0
-		} else {
-			dt = Time(math.Ceil(f.remaining / f.rate))
+	// Assign fresh completion deadlines in flow-ID order — mirroring the
+	// (time, seq) order per-flow timers would have been scheduled in — and
+	// arm the single completion event for the earliest one.
+	for _, f := range n.active {
+		dt, ok := completionDelay(f.remaining, f.rate)
+		n.dcounter++
+		f.dseq = n.dcounter
+		f.starved = !ok
+		if ok {
+			f.deadline = now + dt
 		}
-		f.pending = n.eng.After(dt, func() { n.maybeFinish(f) })
 	}
+	n.armCompletion()
 }
 
-// maybeFinish completes f when its completion event fires.
-func (n *Net) maybeFinish(f *Flow) {
-	if f.finished {
-		return
+// completionDelay returns the event delay for a flow with the given
+// remaining volume and rate. ok is false when the flow is starved (rate 0 —
+// it will be re-examined at the next reallocation) so the caller never
+// divides into +Inf and never converts a non-finite float to Time.
+func completionDelay(remaining, rate float64) (dt Time, ok bool) {
+	if rate <= 0 {
+		return 0, false
 	}
-	n.progressAll()
-	if f.remaining > 1e-6 {
-		// Rounding of Time(ceil(...)) can fire marginally early after a
-		// reallocation; reschedule for the residue.
-		dt := Time(math.Ceil(f.remaining / f.rate))
-		if dt < 1 {
-			dt = 1
+	if math.IsInf(rate, 1) {
+		return 0, true
+	}
+	d := math.Ceil(remaining / rate)
+	if d >= math.MaxInt64 {
+		// Degenerate rate underflow; clamp rather than overflow Time.
+		return 0, false
+	}
+	return Time(d), true
+}
+
+// earliestDue returns the active flow with the smallest (deadline, dseq) —
+// the flow whose dedicated timer would fire next under a one-event-per-flow
+// design. Starved flows have no deadline and are skipped. Both armCompletion
+// and onComplete must select by this exact rule, or the armed event would
+// belong to a different flow than the one processed when it fires.
+func (n *Net) earliestDue() *Flow {
+	var best *Flow
+	for _, f := range n.active {
+		if f.starved {
+			continue
 		}
-		f.pending = n.eng.After(dt, func() { n.maybeFinish(f) })
+		if best == nil || f.deadline < best.deadline ||
+			(f.deadline == best.deadline && f.dseq < best.dseq) {
+			best = f
+		}
+	}
+	return best
+}
+
+// armCompletion (re)schedules the Net's single completion event for the
+// earliest flow deadline, if any flow has one.
+func (n *Net) armCompletion() {
+	best := n.earliestDue()
+	n.pending.Stop()
+	if best == nil {
+		n.pending = Timer{}
 		return
 	}
+	n.pending = n.eng.At(best.deadline, n.completeFn)
+}
+
+// onComplete fires when the earliest flow deadline arrives. It processes
+// exactly the flow that deadline belongs to — the same flow whose dedicated
+// timer would have fired under a one-event-per-flow design — finishing it,
+// or, when ceil rounding made the event marginally early, pushing that
+// flow's deadline out by the residue (at least 1ns) and re-arming.
+func (n *Net) onComplete() {
+	n.pending = Timer{}
+	n.progressAll()
+	now := n.eng.Now()
+	due := n.earliestDue()
+	if due == nil {
+		return
+	}
+	if due.remaining > 1e-6 {
+		dt, ok := completionDelay(due.remaining, due.rate)
+		if !ok {
+			due.starved = true // re-examined at the next reallocation
+		} else {
+			if dt < 1 {
+				dt = 1
+			}
+			n.dcounter++
+			due.deadline = now + dt
+			due.dseq = n.dcounter
+		}
+		n.armCompletion()
+		return
+	}
+	n.finish(due)
+}
+
+// finish completes f: removes it from the active set, reallocates the
+// remaining flows (which re-arms the completion event), runs the callback,
+// and recycles the struct.
+func (n *Net) finish(f *Flow) {
 	f.finished = true
 	f.remaining = 0
-	delete(n.flows, f.id)
+	n.removeActive(f)
 	for _, r := range f.path {
 		r.flows--
 	}
 	n.TotalBytes += f.volume
 	n.reallocate()
-	if f.done != nil {
-		f.done()
+	done := f.done
+	f.done = nil
+	f.path = nil
+	if done != nil {
+		done()
 	}
+	n.freeFlows = append(n.freeFlows, f)
 }
 
-func crosses(f *Flow, r *Resource) bool {
-	for _, rr := range f.path {
-		if rr == r {
-			return true
-		}
-	}
-	return false
-}
-
-// sortInts is a tiny insertion sort; flow counts are small (≤ cores) so this
-// beats pulling in package sort on the hot path.
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
+// removeActive deletes f from the dense active slice, preserving the
+// ascending-ID order. Active counts are small (bounded by in-flight
+// transfers, at most a few per core), so the shift is cheaper than any
+// order-breaking trick plus re-sort.
+func (n *Net) removeActive(f *Flow) {
+	i := f.idx
+	copy(n.active[i:], n.active[i+1:])
+	n.active = n.active[:len(n.active)-1]
+	for ; i < len(n.active); i++ {
+		n.active[i].idx = i
 	}
 }

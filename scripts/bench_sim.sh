@@ -1,0 +1,33 @@
+#!/bin/sh
+# Runs the simulator benchmark families and emits BENCH_sim.json, one object
+# per benchmark with ns/op, allocs/op and (where reported) sim-ms/run — the
+# perf trajectory tracked across PRs.
+#
+# Usage: scripts/bench_sim.sh [output-file]
+set -e
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_sim.json}"
+
+{
+  go test -run '^$' -bench 'BenchmarkFigure1|BenchmarkAblationSockets' -benchmem -benchtime 3x .
+  go test -run '^$' -bench 'BenchmarkReallocate|BenchmarkFlowChurn|BenchmarkTimerChurn' -benchmem ./internal/sim/
+} | awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+  name = $1; nsop = ""; allocs = ""; simms = ""
+  for (i = 2; i <= NF; i++) {
+    if ($(i) == "ns/op")      nsop   = $(i - 1)
+    if ($(i) == "allocs/op")  allocs = $(i - 1)
+    if ($(i) == "sim-ms/run") simms  = $(i - 1)
+  }
+  if (nsop == "") next
+  if (!first) printf ",\n"
+  first = 0
+  printf "  {\"name\": \"%s\", \"ns_per_op\": %s", name, nsop
+  if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  if (simms != "")  printf ", \"sim_ms_per_run\": %s", simms
+  printf "}"
+}
+END { print "\n]" }
+' > "$out"
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
