@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short bench bench-sim bench-json vet clean
+.PHONY: build test test-short bench bench-sim bench-json vet fmt-check ci clean
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,15 @@ test-short:
 
 vet:
 	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+# Mirrors .github/workflows/ci.yml.
+ci: fmt-check build vet test
 
 # Full benchmark families (paper figures + ablations).
 bench:

@@ -7,6 +7,7 @@
 //	figure1                      # paper scale, 3 seeds (a few minutes)
 //	figure1 -scale small -seeds 2
 //	figure1 -bars                # ASCII bar chart like the paper's figure
+//	figure1 -jsonl cells.jsonl   # stream per-cell results while running
 package main
 
 import (
@@ -20,11 +21,12 @@ import (
 
 func main() {
 	var (
-		scale = flag.String("scale", "paper", "problem scale: tiny, small, paper")
-		seeds = flag.Int("seeds", 3, "seeds averaged per cell")
-		bars  = flag.Bool("bars", false, "render ASCII bars instead of a table")
-		csvF  = flag.String("csv", "", "also write the table as CSV to this file")
-		wsize = flag.Int("window", 0, "override window size (0 = default 2048)")
+		scale  = flag.String("scale", "paper", "problem scale: tiny, small, paper")
+		seeds  = flag.Int("seeds", 3, "seeds averaged per cell")
+		bars   = flag.Bool("bars", false, "render ASCII bars instead of a table")
+		csvF   = flag.String("csv", "", "also write the table as CSV to this file")
+		jsonlF = flag.String("jsonl", "", "stream per-cell results as JSON lines to this file")
+		wsize  = flag.Int("window", 0, "override window size (0 = default 2048)")
 	)
 	flag.Parse()
 
@@ -38,7 +40,16 @@ func main() {
 	if *wsize > 0 {
 		opt.Runtime.WindowSize = *wsize
 	}
-	table, err := core.Figure1(opt)
+	var extra []core.Sink
+	if *jsonlF != "" {
+		f, err := os.Create(*jsonlF)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		extra = append(extra, core.NewJSONLSink(f))
+	}
+	table, err := core.Figure1(opt, extra...)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,12 +1,15 @@
 // Command rgpsim runs one benchmark under one scheduling policy on the
 // simulated NUMA machine and reports the run's statistics, optionally
-// dumping an execution trace.
+// dumping an execution trace. The -policy flag accepts any policy registry
+// spec, including parameterized ones ("RGP+LAS?matching=random"); every run
+// goes through the audited core.Run path.
 //
 // Usage:
 //
 //	rgpsim -app jacobi -policy RGP+LAS -scale paper
 //	rgpsim -app nstream -policy LAS -machine 2socket -gantt
 //	rgpsim -app qr -policy EP -trace qr.json   # chrome://tracing format
+//	rgpsim -list                               # registered policies
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"numadag/internal/apps"
 	"numadag/internal/core"
 	"numadag/internal/machine"
+	"numadag/internal/policy"
 	"numadag/internal/rt"
 	"numadag/internal/trace"
 )
@@ -25,7 +29,7 @@ import (
 func main() {
 	var (
 		appName  = flag.String("app", "jacobi", "benchmark: "+strings.Join(apps.Names(), ", "))
-		polName  = flag.String("policy", "RGP+LAS", "policy: DFIFO, LAS, EP, RGP+LAS, RGP, Random")
+		polName  = flag.String("policy", "RGP+LAS", "policy registry spec (see -list), e.g. LAS or RGP+LAS?refine=off")
 		scale    = flag.String("scale", "small", "problem scale: tiny, small, paper")
 		machName = flag.String("machine", "bullion", "machine: bullion, 2socket, 4socket, uniform")
 		window   = flag.Int("window", rt.DefaultOptions().WindowSize, "window size limit (tasks)")
@@ -33,9 +37,14 @@ func main() {
 		noSteal  = flag.Bool("nosteal", false, "disable cross-socket work stealing")
 		traceOut = flag.String("trace", "", "write Chrome trace JSON to this file")
 		gantt    = flag.Bool("gantt", false, "print a per-core text Gantt chart")
+		list     = flag.Bool("list", false, "list registered policies and exit")
 	)
 	flag.Parse()
 
+	if *list {
+		fmt.Println(strings.Join(policy.Names(), "\n"))
+		return
+	}
 	sc, err := apps.ParseScale(*scale)
 	if err != nil {
 		fatal(err)

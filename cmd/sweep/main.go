@@ -5,13 +5,22 @@
 //	-exp sockets     (A3) socket-count scaling (2/4/8 sockets)
 //	-exp propagation (A4) RGP propagation: RGP+LAS vs pure RGP vs LAS
 //
+// Each experiment is a declaration over core.Experiment: one grid of
+// (app x policy-spec x machine x variant x seed) cells, every cell run
+// through the audited core.Run path, aggregated by a TableSink. The
+// partitioner ablations are policy registry specs ("RGP+LAS?matching=random",
+// "RGP+LAS?refine=off") plus the "RGP-cyclic" policy this command registers
+// in variants.go; -jsonl streams every cell result as it completes.
+//
 // Usage:
 //
 //	sweep -exp window -scale small
 //	sweep -exp sockets -apps jacobi,nstream
+//	sweep -exp partitioner -seeds 3 -jsonl cells.jsonl
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,7 +29,6 @@ import (
 	"numadag/internal/apps"
 	"numadag/internal/core"
 	"numadag/internal/machine"
-	"numadag/internal/metrics"
 	"numadag/internal/rt"
 )
 
@@ -30,6 +38,7 @@ func main() {
 		scale    = flag.String("scale", "small", "problem scale")
 		appsFlag = flag.String("apps", "", "comma-separated app subset (default depends on experiment)")
 		seeds    = flag.Int("seeds", 2, "seeds averaged per cell")
+		jsonlF   = flag.String("jsonl", "", "stream per-cell results as JSON lines to this file")
 	)
 	flag.Parse()
 
@@ -41,183 +50,162 @@ func main() {
 	if *appsFlag != "" {
 		appList = strings.Split(*appsFlag, ",")
 	}
-	switch *exp {
-	case "window":
-		err = windowSweep(sc, appList, *seeds)
-	case "partitioner":
-		err = partitionerSweep(sc, appList, *seeds)
-	case "sockets":
-		err = socketSweep(sc, appList, *seeds)
-	case "propagation":
-		err = propagationSweep(sc, appList, *seeds)
-	default:
-		err = fmt.Errorf("unknown experiment %q", *exp)
-	}
+	e, table, err := declare(*exp, sc, appList, *seeds)
 	if err != nil {
+		fatal(err)
+	}
+	sinks := []core.Sink{table}
+	if *jsonlF != "" {
+		f, err := os.Create(*jsonlF)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sinks = append(sinks, core.NewJSONLSink(f))
+	}
+	if err := e.Run(context.Background(), sinks...); err != nil {
+		fatal(err)
+	}
+	if err := table.Table().Write(os.Stdout); err != nil {
 		fatal(err)
 	}
 }
 
-// averaged runs a config over seeds and returns the mean makespan (ns).
-func averaged(cfg core.Config, seeds int) (float64, error) {
-	sum := 0.0
-	for s := 0; s < seeds; s++ {
-		cfg.Runtime.Seed = 1 + uint64(1000*s)
-		res, err := core.Run(cfg)
-		if err != nil {
-			return 0, err
-		}
-		sum += float64(res.Stats.Makespan)
+// declare builds the experiment grid and its table aggregation for one
+// ablation.
+func declare(exp string, sc apps.Scale, appList []string, seeds int) (*core.Experiment, *core.TableSink, error) {
+	switch exp {
+	case "window":
+		return windowSweep(sc, appList, seeds)
+	case "partitioner":
+		return partitionerSweep(sc, appList, seeds)
+	case "sockets":
+		return socketSweep(sc, appList, seeds)
+	case "propagation":
+		return propagationSweep(sc, appList, seeds)
+	default:
+		return nil, nil, fmt.Errorf("unknown experiment %q", exp)
 	}
-	return sum / float64(seeds), nil
 }
 
 // windowSweep (A1): RGP+LAS makespan, normalized to the best, as the window
 // size grows from 64 to 8192.
-func windowSweep(sc apps.Scale, appList []string, seeds int) error {
+func windowSweep(sc apps.Scale, appList []string, seeds int) (*core.Experiment, *core.TableSink, error) {
 	if appList == nil {
 		appList = []string{"jacobi", "qr"}
 	}
 	windows := []int{64, 256, 1024, 2048, 8192}
-	cols := make([]string, len(windows))
+	variants := make([]core.Variant, len(windows))
 	for i, w := range windows {
-		cols[i] = fmt.Sprintf("w=%d", w)
-	}
-	tb := metrics.NewTable("A1: RGP+LAS makespan vs window size (normalized to best)", cols...)
-	for _, app := range appList {
-		vals := make([]float64, len(windows))
-		best := 0.0
-		for i, w := range windows {
-			cfg := core.DefaultConfig(app, "RGP+LAS", sc)
-			cfg.Runtime.WindowSize = w
-			v, err := averaged(cfg, seeds)
-			if err != nil {
-				return err
-			}
-			vals[i] = v
-			if best == 0 || v < best {
-				best = v
-			}
-		}
-		for i := range windows {
-			tb.Set(app, cols[i], vals[i]/best)
+		w := w
+		variants[i] = core.Variant{
+			Name:   fmt.Sprintf("w=%d", w),
+			Mutate: func(o *rt.Options) { o.WindowSize = w },
 		}
 	}
-	return tb.Write(os.Stdout)
+	e := &core.Experiment{
+		Name:     "A1-window",
+		Apps:     appList,
+		Policies: []string{"RGP+LAS"},
+		Scale:    sc,
+		Variants: variants,
+		Seeds:    seeds,
+	}
+	table := core.NewTableSink(core.TableOptions{
+		Title: "A1: RGP+LAS makespan vs window size (normalized to best)",
+		Col:   func(c core.Cell) string { return c.Variant },
+		Norm:  core.NormBest,
+	})
+	return e, table, nil
 }
 
-// partitionerSweep (A2): edge cut of the window-0 TDG under partitioner
-// ablations, normalized to the full multilevel pipeline.
-func partitionerSweep(sc apps.Scale, appList []string, seeds int) error {
+// partitionerSweep (A2): RGP+LAS makespan under partitioner ablations,
+// normalized to the full multilevel pipeline. The ablations are registry
+// specs; "cyclic" is the RGP-cyclic policy registered in variants.go.
+func partitionerSweep(sc apps.Scale, appList []string, seeds int) (*core.Experiment, *core.TableSink, error) {
 	if appList == nil {
 		appList = apps.Names()
 	}
-	variants := []string{"full", "random-match", "no-refine", "cyclic"}
-	tb := metrics.NewTable("A2: RGP+LAS makespan by partitioner variant (normalized to full)", variants...)
-	for _, app := range appList {
-		base := 0.0
-		for _, variant := range variants {
-			cfg := core.DefaultConfig(app, "RGP+LAS", sc)
-			cfg.Policy = "RGP+LAS"
-			v, err := averagedVariant(cfg, variant, seeds)
-			if err != nil {
-				return err
-			}
-			if variant == "full" {
-				base = v
-			}
-			tb.Set(app, variant, v/base)
-		}
+	specs := []string{"RGP+LAS", "RGP+LAS?matching=random", "RGP+LAS?refine=off", "RGP-cyclic"}
+	labels := map[string]string{
+		"RGP+LAS":                 "full",
+		"RGP+LAS?matching=random": "random-match",
+		"RGP+LAS?refine=off":      "no-refine",
+		"RGP-cyclic":              "cyclic",
 	}
-	return tb.Write(os.Stdout)
-}
-
-// averagedVariant runs RGP+LAS with an ablated partitioner.
-func averagedVariant(cfg core.Config, variant string, seeds int) (float64, error) {
-	sum := 0.0
-	for s := 0; s < seeds; s++ {
-		pol, err := rgpVariant(variant, cfg.Machine.Sockets)
-		if err != nil {
-			return 0, err
-		}
-		app, err := apps.ByName(cfg.App, cfg.Scale)
-		if err != nil {
-			return 0, err
-		}
-		opts := cfg.Runtime
-		opts.Seed = 1 + uint64(1000*s)
-		r := rt.NewRuntime(machineFor(cfg), pol, opts)
-		app.Build(r)
-		sum += float64(r.Run().Makespan)
+	e := &core.Experiment{
+		Name:     "A2-partitioner",
+		Apps:     appList,
+		Policies: specs,
+		Scale:    sc,
+		Seeds:    seeds,
 	}
-	return sum / float64(seeds), nil
-}
-
-func machineFor(cfg core.Config) *machine.Machine {
-	return machine.New(cfg.Machine, newEngine())
+	table := core.NewTableSink(core.TableOptions{
+		Title:          "A2: RGP+LAS makespan by partitioner variant (normalized to full)",
+		Col:            func(c core.Cell) string { return labels[c.Policy] },
+		Columns:        []string{"full", "random-match", "no-refine", "cyclic"},
+		Norm:           core.NormRatio,
+		BaselineColumn: "full",
+	})
+	return e, table, nil
 }
 
 // socketSweep (A3): LAS-relative speedup of RGP+LAS on 2-, 4- and 8-socket
-// machines.
-func socketSweep(sc apps.Scale, appList []string, seeds int) error {
+// machines. The LAS runs feed each machine column's baseline.
+func socketSweep(sc apps.Scale, appList []string, seeds int) (*core.Experiment, *core.TableSink, error) {
 	if appList == nil {
 		appList = apps.Names()
 	}
 	machines := []machine.Config{machine.TwoSocketXeon(), machine.FourSocket(), machine.BullionS16()}
+	label := make(map[string]string, len(machines))
 	cols := make([]string, len(machines))
 	for i, m := range machines {
 		cols[i] = fmt.Sprintf("%ds", m.Sockets)
+		label[m.Name] = cols[i]
 	}
-	tb := metrics.NewTable("A3: RGP+LAS speedup over LAS by socket count", cols...)
-	for _, app := range appList {
-		for i, m := range machines {
-			base := core.DefaultConfig(app, "LAS", sc)
-			base.Machine = m
-			las, err := averaged(base, seeds)
-			if err != nil {
-				return err
-			}
-			cfg := core.DefaultConfig(app, "RGP+LAS", sc)
-			cfg.Machine = m
-			rgp, err := averaged(cfg, seeds)
-			if err != nil {
-				return err
-			}
-			tb.Set(app, cols[i], las/rgp)
-		}
+	e := &core.Experiment{
+		Name:     "A3-sockets",
+		Apps:     appList,
+		Policies: []string{"LAS", "RGP+LAS"},
+		Scale:    sc,
+		Machines: machines,
+		Seeds:    seeds,
 	}
-	return tb.Write(os.Stdout)
+	table := core.NewTableSink(core.TableOptions{
+		Title:    "A3: RGP+LAS speedup over LAS by socket count",
+		Col:      func(c core.Cell) string { return label[c.Machine] },
+		Columns:  cols,
+		Norm:     core.NormSpeedup,
+		Baseline: func(c core.Cell) bool { return c.Policy == "LAS" },
+	})
+	return e, table, nil
 }
 
 // propagationSweep (A4): speedup over LAS of the two RGP propagation modes.
 // The window is forced small enough that every app spans several windows —
 // with a single window the two modes coincide by construction.
-func propagationSweep(sc apps.Scale, appList []string, seeds int) error {
+func propagationSweep(sc apps.Scale, appList []string, seeds int) (*core.Experiment, *core.TableSink, error) {
 	if appList == nil {
 		appList = apps.Names()
 	}
 	const window = 256
-	cols := []string{"RGP+LAS", "RGP"}
-	tb := metrics.NewTable(
-		fmt.Sprintf("A4: speedup over LAS by propagation mode (window=%d)", window), cols...)
-	for _, app := range appList {
-		lasCfg := core.DefaultConfig(app, "LAS", sc)
-		lasCfg.Runtime.WindowSize = window
-		las, err := averaged(lasCfg, seeds)
-		if err != nil {
-			return err
-		}
-		for _, pol := range cols {
-			cfg := core.DefaultConfig(app, pol, sc)
-			cfg.Runtime.WindowSize = window
-			v, err := averaged(cfg, seeds)
-			if err != nil {
-				return err
-			}
-			tb.Set(app, pol, las/v)
-		}
+	opts := rt.DefaultOptions()
+	opts.WindowSize = window
+	e := &core.Experiment{
+		Name:     "A4-propagation",
+		Apps:     appList,
+		Policies: []string{"LAS", "RGP+LAS", "RGP"},
+		Scale:    sc,
+		Runtime:  opts,
+		Seeds:    seeds,
 	}
-	return tb.Write(os.Stdout)
+	table := core.NewTableSink(core.TableOptions{
+		Title:    fmt.Sprintf("A4: speedup over LAS by propagation mode (window=%d)", window),
+		Columns:  []string{"RGP+LAS", "RGP"},
+		Norm:     core.NormSpeedup,
+		Baseline: func(c core.Cell) bool { return c.Policy == "LAS" },
+	})
+	return e, table, nil
 }
 
 func fatal(err error) {

@@ -1,58 +1,34 @@
 package main
 
 import (
-	"fmt"
-
-	"numadag/internal/partition"
 	"numadag/internal/policy"
 	"numadag/internal/rt"
-	"numadag/internal/sim"
 )
-
-func newEngine() *sim.Engine { return sim.NewEngine() }
-
-// rgpVariant builds an RGP+LAS policy with an ablated partitioner:
-//
-//	full          the default multilevel pipeline
-//	random-match  random matching instead of heavy-edge
-//	no-refine     FM refinement disabled
-//	cyclic        no partitioner at all: window tasks dealt round-robin
-func rgpVariant(variant string, sockets int) (rt.Policy, error) {
-	switch variant {
-	case "full":
-		return policy.NewRGPLAS(), nil
-	case "random-match":
-		p := policy.NewRGPLAS()
-		p.Opt = partition.DefaultOptions(sockets)
-		p.Opt.Matching = partition.RandomMatching
-		return p, nil
-	case "no-refine":
-		p := policy.NewRGPLAS()
-		p.Opt = partition.DefaultOptions(sockets)
-		p.Opt.NoRefine = true
-		return p, nil
-	case "cyclic":
-		return cyclicWindow{sockets: sockets}, nil
-	default:
-		return nil, fmt.Errorf("unknown partitioner variant %q", variant)
-	}
-}
 
 // cyclicWindow assigns window-0 tasks round-robin over sockets (by task ID,
 // so the assignment is deterministic) and follows LAS afterwards — "RGP with
 // a partitioner that ignores the graph", the floor any real partitioner must
-// beat.
-type cyclicWindow struct {
-	sockets int
-}
+// beat. It registers as "RGP-cyclic" below, so the partitioner sweep refers
+// to it by name like any built-in; every run of it goes through the audited
+// core.Run path.
+type cyclicWindow struct{}
 
 // Name implements rt.Policy.
 func (cyclicWindow) Name() string { return "RGP(cyclic)" }
 
 // PickSocket implements rt.Policy.
-func (c cyclicWindow) PickSocket(r *rt.Runtime, t *rt.Task) int {
+func (cyclicWindow) PickSocket(r *rt.Runtime, t *rt.Task) int {
 	if t.Window == 0 {
-		return int(t.ID) % c.sockets
+		return int(t.ID) % r.Machine().Sockets()
 	}
 	return policy.LAS{}.PickSocket(r, t)
+}
+
+func init() {
+	policy.MustRegister("RGP-cyclic", func(s policy.Spec) (rt.Policy, error) {
+		if err := s.Only(); err != nil {
+			return nil, err
+		}
+		return cyclicWindow{}, nil
+	})
 }

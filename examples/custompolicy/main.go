@@ -1,15 +1,19 @@
 // Custompolicy: implement a new scheduling policy against the public Policy
-// interface and race it against the built-in ones.
+// interface, register it by name, and race it against the built-ins over a
+// declarative experiment grid.
 //
 // The example policy, "widest-first", places each ready task on the socket
 // with the shortest queue, breaking ties toward the socket holding most of
 // the task's data — a simple blend of load balancing and locality that sits
-// between DFIFO and LAS.
+// between DFIFO and LAS. Once registered, "ShortestQueue" is a first-class
+// policy name: experiments, sweeps and rgpsim can all refer to it, and every
+// run of it goes through the audited run path.
 //
 //	go run ./examples/custompolicy
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,32 +44,25 @@ func (shortestQueue) PickSocket(r *numadag.Runtime, t *numadag.Task) int {
 }
 
 func main() {
+	if err := numadag.RegisterPolicy("ShortestQueue",
+		func(numadag.PolicySpec) (numadag.Policy, error) { return shortestQueue{}, nil }); err != nil {
+		log.Fatal(err)
+	}
+
 	const app = "cg"
-	run := func(pol numadag.Policy) numadag.Result {
-		eng := numadag.NewEngine()
-		m := numadag.NewMachine(numadag.BullionS16(), eng)
-		r := numadag.NewRuntime(m, pol, numadag.DefaultRuntimeOptions())
-		a, err := numadag.AppByName(app, numadag.ScaleSmall)
-		if err != nil {
-			log.Fatal(err)
-		}
-		a.Build(r)
-		return r.Run()
+	e := &numadag.Experiment{
+		Name:     "custompolicy",
+		Apps:     []string{app},
+		Policies: []string{"ShortestQueue", "LAS", "RGP+LAS"},
+		Scale:    numadag.ScaleSmall,
 	}
-
-	las, err := numadag.NewPolicy("LAS")
-	if err != nil {
-		log.Fatal(err)
-	}
-	rgp, err := numadag.NewPolicy("RGP+LAS")
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	fmt.Printf("benchmark %q, custom policy vs built-ins\n\n", app)
-	for _, p := range []numadag.Policy{shortestQueue{}, las, rgp} {
-		res := run(p)
-		fmt.Printf("%-14s makespan %12v  remote %5.1f%%  imbalance %.2f\n",
-			p.Name(), res.Makespan, 100*res.RemoteRatio(), res.LoadImbalance)
+	report := numadag.SinkFunc(func(res numadag.CellResult) error {
+		_, err := fmt.Printf("%-14s makespan %12v  remote %5.1f%%  imbalance %.2f\n",
+			res.Cell.Policy, res.Stats.Makespan, 100*res.Stats.RemoteRatio(), res.Stats.LoadImbalance)
+		return err
+	})
+	if err := e.Run(context.Background(), report); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -5,10 +5,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"numadag/internal/apps"
 	"numadag/internal/machine"
@@ -19,31 +17,16 @@ import (
 )
 
 // PolicyNames lists the Figure-1 configurations in the paper's legend
-// order. LAS is the baseline all speedups are relative to.
+// order. LAS is the baseline all speedups are relative to. The full set of
+// instantiable policies lives in the policy registry (policy.Names).
 var PolicyNames = []string{"DFIFO", "RGP+LAS", "EP", "LAS"}
 
-// NewPolicy instantiates a scheduling policy by name.
-func NewPolicy(name string) (rt.Policy, error) {
-	switch name {
-	case "DFIFO":
-		return policy.DFIFO{}, nil
-	case "LAS":
-		return policy.LAS{}, nil
-	case "EP":
-		return policy.EP{}, nil
-	case "RGP+LAS":
-		return policy.NewRGPLAS(), nil
-	case "RGP":
-		return policy.NewRGPRepartition(), nil
-	case "Random":
-		return policy.RandomSocket{}, nil
-	case "OSMigrate":
-		return policy.NewOSMigrate(), nil
-	case "HEFT":
-		return policy.NewHEFT(), nil
-	default:
-		return nil, fmt.Errorf("core: unknown policy %q", name)
-	}
+// NewPolicy instantiates a scheduling policy from a registry spec, e.g.
+// "LAS" or "RGP+LAS?matching=random". It is a thin veneer over policy.New;
+// custom policies registered with policy.Register are available here and
+// in every Experiment by name.
+func NewPolicy(spec string) (rt.Policy, error) {
+	return policy.New(spec)
 }
 
 // Config describes one simulation run.
@@ -121,94 +104,66 @@ func DefaultFigure1Options() Figure1Options {
 	}
 }
 
+// figure1Cols is the Figure-1 legend minus the LAS baseline, in legend
+// order — the table's measured columns.
+func figure1Cols() []string {
+	var cols []string
+	for _, p := range PolicyNames {
+		if p != "LAS" {
+			cols = append(cols, p)
+		}
+	}
+	return cols
+}
+
+// Figure1Experiment declares the paper's Figure-1 grid: every benchmark
+// under each PolicyNames configuration (LAS the baseline), replicated over
+// seeds.
+func Figure1Experiment(opt Figure1Options) *Experiment {
+	return &Experiment{
+		Name:     "figure1",
+		Apps:     opt.Apps,
+		Policies: append([]string{"LAS"}, figure1Cols()...),
+		Scale:    opt.Scale,
+		Machines: []machine.Config{opt.Machine},
+		Runtime:  opt.Runtime,
+		Seeds:    opt.Seeds,
+	}
+}
+
+// Figure1Table returns the table aggregator matching Figure 1's axes:
+// speedup over the LAS baseline (which feeds the reference instead of a
+// column) plus the geometric-mean row.
+func Figure1Table(opt Figure1Options) *TableSink {
+	return NewTableSink(TableOptions{
+		Title: fmt.Sprintf("Figure 1: speedup over LAS (%s, %s scale, %d seed(s))",
+			opt.Machine.Name, opt.Scale, opt.Seeds),
+		Columns:  figure1Cols(),
+		Norm:     NormSpeedup,
+		Baseline: func(c Cell) bool { return c.Policy == "LAS" },
+		Geomean:  true,
+	})
+}
+
 // Figure1 reproduces the paper's Figure 1: for every benchmark it runs
 // DFIFO, RGP+LAS, EP and LAS on the configured machine and reports each
 // policy's speedup over the LAS baseline, plus the geometric mean row.
 // The returned table has one row per app (plus "geomean") and one column
 // per policy.
 //
-// Individual simulation runs are independent and internally deterministic,
-// so Figure1 executes them on a host worker pool (one worker per CPU); the
-// resulting table is identical to a sequential evaluation.
-func Figure1(opt Figure1Options) (*metrics.Table, error) {
+// It is a thin declaration over the Experiment API: individual runs are
+// independent and internally deterministic, so the grid executes on the
+// shared worker pool and the table is identical to a sequential
+// evaluation. Extra sinks (e.g. a JSONL trajectory) receive every cell
+// result alongside the table aggregation.
+func Figure1(opt Figure1Options, extra ...Sink) (*metrics.Table, error) {
 	if opt.Seeds < 1 {
 		return nil, fmt.Errorf("core: Seeds must be >= 1")
 	}
-	names := opt.Apps
-	if names == nil {
-		names = apps.Names()
+	table := Figure1Table(opt)
+	sinks := append([]Sink{table}, extra...)
+	if err := Figure1Experiment(opt).Run(context.Background(), sinks...); err != nil {
+		return nil, err
 	}
-	cols := []string{"DFIFO", "RGP+LAS", "EP"}
-	table := metrics.NewTable(
-		fmt.Sprintf("Figure 1: speedup over LAS (%s, %s scale, %d seed(s))",
-			opt.Machine.Name, opt.Scale, opt.Seeds),
-		cols...)
-
-	type job struct {
-		app, pol string
-		seed     uint64
-	}
-	var jobs []job
-	for _, app := range names {
-		for _, pol := range append([]string{"LAS"}, cols...) {
-			for s := 0; s < opt.Seeds; s++ {
-				jobs = append(jobs, job{app: app, pol: pol, seed: opt.Runtime.Seed + uint64(1000*s)})
-			}
-		}
-	}
-	makespans := make([]float64, len(jobs))
-	errs := make([]error, len(jobs))
-	var next atomic.Int64
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
-					return
-				}
-				cfg := Config{
-					App:     jobs[i].app,
-					Scale:   opt.Scale,
-					Policy:  jobs[i].pol,
-					Machine: opt.Machine,
-					Runtime: opt.Runtime,
-				}
-				cfg.Runtime.Seed = jobs[i].seed
-				res, err := Run(cfg)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				makespans[i] = float64(res.Stats.Makespan)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	// Aggregate: mean makespan per (app, policy).
-	mean := make(map[[2]string]float64, len(names)*4)
-	for i, j := range jobs {
-		mean[[2]string{j.app, j.pol}] += makespans[i] / float64(opt.Seeds)
-	}
-	for _, app := range names {
-		baseline := mean[[2]string{app, "LAS"}]
-		for _, pol := range cols {
-			table.Set(app, pol, metrics.Speedup(baseline, mean[[2]string{app, pol}]))
-		}
-	}
-	for _, pol := range cols {
-		table.Set("geomean", pol, metrics.GeoMean(table.ColumnValues(pol)))
-	}
-	return table, nil
+	return table.Table(), nil
 }

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"numadag/internal/apps"
+	"numadag/internal/machine"
+	"numadag/internal/rt"
+)
+
+// DeriveSeed is the single source of truth for replicate seeds across the
+// whole evaluation: replicate r of a configuration whose base seed is b
+// runs with seed b + 1000*r. Replicates are spaced 1000 apart so that
+// derived partitioner seeds (which follow the runtime seed) never collide
+// between replicates; every command and sweep must go through this formula
+// rather than hard-coding its own.
+func DeriveSeed(base uint64, replicate int) uint64 {
+	return base + 1000*uint64(replicate)
+}
+
+// Variant is one runtime-option mutation axis value of an Experiment: a
+// named tweak applied to the base rt.Options before a cell runs (window
+// sizes, stealing toggles, partition-cost sensitivity, ...). Mutate may be
+// nil for an identity variant. The cell's seed is assigned after Mutate
+// runs, so variants cannot accidentally bypass DeriveSeed.
+type Variant struct {
+	Name   string
+	Mutate func(*rt.Options)
+}
+
+// Cell identifies one run of an experiment grid: the cross product
+// coordinates plus the derived seed. Index is the cell's position in the
+// canonical enumeration order (apps x policies x machines x variants x
+// replicates, replicates innermost); sinks receive results in exactly this
+// order regardless of how the worker pool interleaves execution.
+type Cell struct {
+	Index     int
+	App       string
+	Policy    string // registry spec, e.g. "RGP+LAS?matching=random"
+	Machine   string // machine config name
+	Variant   string // variant name ("" when the experiment has no variants)
+	Replicate int
+	Seed      uint64
+}
+
+// CellResult couples a cell with the concrete Config it ran and the run's
+// statistics.
+type CellResult struct {
+	Cell   Cell
+	Config Config
+	Stats  rt.Result
+}
+
+// Sink consumes a stream of cell results. Emit is called from a single
+// goroutine, in canonical cell order; Close is called exactly once when the
+// experiment finishes (successfully or not), so sinks can flush buffered
+// output. A non-nil error from either aborts the experiment.
+type Sink interface {
+	Emit(CellResult) error
+	Close() error
+}
+
+// Experiment declares an evaluation grid: the cross product of apps,
+// policy specs, machines, runtime-option variants and replicate seeds. Run
+// executes every cell through the audited core.Run path on a shared worker
+// pool and streams the results, in deterministic order, to the given
+// sinks. The paper's Figure 1 and all ablation sweeps are declarations of
+// this type.
+type Experiment struct {
+	// Name labels the experiment (used in progress/diagnostic output).
+	Name string
+	// Apps lists benchmark names; nil means all registered benchmarks.
+	Apps []string
+	// Policies lists policy registry specs; must be non-empty.
+	Policies []string
+	// Scale selects the problem size preset.
+	Scale apps.Scale
+	// Machines lists NUMA topologies; nil means the paper's bullion S16.
+	Machines []machine.Config
+	// Variants lists runtime-option mutations; nil means one identity
+	// variant.
+	Variants []Variant
+	// Runtime is the base runtime options every cell starts from; the zero
+	// value means rt.DefaultOptions(). Runtime.Seed is the base seed of
+	// replicate 0 (see DeriveSeed). A non-nil Runtime.Observer is shared by
+	// every cell and receives callbacks from concurrently executing runs —
+	// it must be safe for concurrent use, or the experiment must set
+	// Workers to 1.
+	Runtime rt.Options
+	// Seeds is the number of replicates per cell; 0 means 1.
+	Seeds int
+	// Workers caps the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Progress, if set, is called after each in-order delivery with the
+	// number of delivered cells and the grid size.
+	Progress func(done, total int, res CellResult)
+}
+
+// plan is one fully-resolved cell: the public coordinates plus the machine
+// config and variant needed to build its Config.
+type plan struct {
+	cell Cell
+	mach machine.Config
+	vari Variant
+}
+
+func (e *Experiment) plans() ([]plan, error) {
+	if len(e.Policies) == 0 {
+		return nil, errors.New("core: experiment has no policies")
+	}
+	if e.Seeds < 0 || e.Workers < 0 {
+		return nil, fmt.Errorf("core: negative Seeds/Workers")
+	}
+	appNames := e.Apps
+	if appNames == nil {
+		appNames = apps.Names()
+	}
+	if len(appNames) == 0 {
+		return nil, errors.New("core: experiment has no apps")
+	}
+	machines := e.Machines
+	if machines == nil {
+		machines = []machine.Config{machine.BullionS16()}
+	}
+	if len(machines) == 0 {
+		return nil, errors.New("core: experiment has no machines")
+	}
+	variants := e.Variants
+	if variants == nil {
+		variants = []Variant{{}}
+	}
+	if len(variants) == 0 {
+		return nil, errors.New("core: experiment has no variants")
+	}
+	seeds := e.Seeds
+	if seeds == 0 {
+		seeds = 1
+	}
+	base := e.baseOptions()
+	var ps []plan
+	for _, app := range appNames {
+		for _, pol := range e.Policies {
+			for _, m := range machines {
+				for _, v := range variants {
+					for s := 0; s < seeds; s++ {
+						ps = append(ps, plan{
+							cell: Cell{
+								Index:     len(ps),
+								App:       app,
+								Policy:    pol,
+								Machine:   m.Name,
+								Variant:   v.Name,
+								Replicate: s,
+								Seed:      DeriveSeed(base.Seed, s),
+							},
+							mach: m,
+							vari: v,
+						})
+					}
+				}
+			}
+		}
+	}
+	return ps, nil
+}
+
+func (e *Experiment) baseOptions() rt.Options {
+	// Compare with the Observer masked out: interface comparison would
+	// panic on uncomparable Observer implementations, and an Observer-only
+	// Runtime still means "default options, plus my observer".
+	masked := e.Runtime
+	masked.Observer = nil
+	if masked == (rt.Options{}) {
+		o := rt.DefaultOptions()
+		o.Observer = e.Runtime.Observer
+		return o
+	}
+	return e.Runtime
+}
+
+// Cells enumerates the grid in canonical order without running anything.
+func (e *Experiment) Cells() ([]Cell, error) {
+	ps, err := e.plans()
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]Cell, len(ps))
+	for i, p := range ps {
+		cells[i] = p.cell
+	}
+	return cells, nil
+}
+
+// config builds the audited-run configuration for one plan.
+func (e *Experiment) config(p plan) Config {
+	cfg := Config{
+		App:     p.cell.App,
+		Scale:   e.Scale,
+		Policy:  p.cell.Policy,
+		Machine: p.mach,
+		Runtime: e.baseOptions(),
+	}
+	if p.vari.Mutate != nil {
+		p.vari.Mutate(&cfg.Runtime)
+	}
+	cfg.Runtime.Seed = p.cell.Seed
+	return cfg
+}
+
+// Run executes the grid. Cells run concurrently on the worker pool, but
+// individual runs are internally deterministic and results are delivered
+// to sinks in canonical cell order, so the stream — and therefore any
+// aggregation — is identical to a sequential evaluation. Every cell goes
+// through Run's schedule audit; the first error (bad config, audit
+// failure, sink failure or ctx cancellation) cancels the remaining cells
+// and is returned after Close has been called on every sink.
+func (e *Experiment) Run(ctx context.Context, sinks ...Sink) error {
+	err := e.run(ctx, sinks...)
+	for _, s := range sinks {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func (e *Experiment) run(ctx context.Context, sinks ...Sink) error {
+	ps, err := e.plans()
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		res CellResult
+		err error
+	}
+	results := make(chan outcome, len(ps))
+	workers := e.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ps) {
+		workers = len(ps)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ps) {
+					return
+				}
+				if ctx.Err() != nil {
+					results <- outcome{err: ctx.Err()}
+					return
+				}
+				cfg := e.config(ps[i])
+				res, err := Run(cfg)
+				if err != nil {
+					// Any error dooms the experiment; stop claiming cells
+					// instead of burning cycles until cancellation lands.
+					results <- outcome{err: err}
+					return
+				}
+				results <- outcome{res: CellResult{Cell: ps[i].cell, Config: cfg, Stats: res.Stats}}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	// Reorder buffer: deliver results to sinks in canonical cell order.
+	pending := make(map[int]CellResult)
+	nextEmit, delivered, received := 0, 0, 0
+	var firstErr error
+	for received < len(ps) {
+		if firstErr != nil && received >= int(min(next.Load(), int64(len(ps)))) {
+			// After an error cancels the run, every claimed cell reports
+			// exactly once and workers claim nothing new; once all claims
+			// have reported, nothing more will ever arrive.
+			break
+		}
+		o := <-results
+		received++
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			cancel()
+			continue
+		}
+		if firstErr != nil {
+			continue
+		}
+		pending[o.res.Cell.Index] = o.res
+		for {
+			res, ok := pending[nextEmit]
+			if !ok {
+				break
+			}
+			delete(pending, nextEmit)
+			for _, s := range sinks {
+				if err := s.Emit(res); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("core: sink: %w", err)
+					cancel()
+				}
+			}
+			if firstErr != nil {
+				break
+			}
+			nextEmit++
+			delivered++
+			if e.Progress != nil {
+				e.Progress(delivered, len(ps), res)
+			}
+		}
+	}
+	<-done
+	return firstErr
+}

@@ -140,6 +140,11 @@ type RGP struct {
 	Propagate Propagation
 	// Opt tunes the partitioner; zero value means partition.DefaultOptions.
 	Opt partition.Options
+	// Tune, if set, adjusts the effective partitioner options after the
+	// defaults (including the machine's socket count and the runtime seed)
+	// have been resolved — the ablation hook the registry's "matching" and
+	// "refine" spec parameters use.
+	Tune func(*partition.Options)
 
 	assign     map[graph.NodeID]int32
 	ready      bool // simulated partition completed
@@ -207,6 +212,9 @@ func (p *RGP) Prepare(r *rt.Runtime) {
 		if opt.Parts == 0 && opt.CoarsenTo == 0 {
 			opt = partition.DefaultOptions(r.Machine().Sockets())
 			opt.Seed = r.Options().Seed
+		}
+		if p.Tune != nil {
+			p.Tune(&opt)
 		}
 		opt.Fixed = make([]int32, sub.Len())
 		for i := range opt.Fixed {

@@ -8,19 +8,52 @@
 //
 //   - run the paper's benchmarks under its scheduling policies (Run,
 //     Figure1),
+//   - declare whole evaluation grids — apps x policies x machines x
+//     runtime variants x seeds — and execute them on a shared worker pool
+//     with streaming result sinks (Experiment, TableSink, JSONL/CSV sinks),
+//   - register custom scheduling policies by name so experiments and
+//     commands can refer to them like built-ins (RegisterPolicy, the
+//     Policy interface),
 //   - build custom task-based applications on the simulated runtime
-//     (NewEngine/NewMachine/NewRuntime, TaskSpec, Access),
-//   - implement custom scheduling policies (the Policy interface), and
+//     (NewEngine/NewMachine/NewRuntime, TaskSpec, Access), and
 //   - use the multilevel graph partitioner directly (Partition, MapOnto).
 //
-// Quick start:
+// Quick start — one run:
 //
 //	cfg := numadag.DefaultConfig("jacobi", "RGP+LAS", numadag.ScaleSmall)
 //	res, err := numadag.Run(cfg)
 //	fmt.Println(res.Stats.Summary())
+//
+// Quick start — a custom policy raced over a grid:
+//
+//	numadag.RegisterPolicy("Mine", func(spec numadag.PolicySpec) (numadag.Policy, error) {
+//		return minePolicy{}, nil
+//	})
+//	e := &numadag.Experiment{
+//		Apps:     []string{"jacobi", "nstream"},
+//		Policies: []string{"LAS", "Mine", "RGP+LAS?matching=random"},
+//		Scale:    numadag.ScaleSmall,
+//		Seeds:    3,
+//	}
+//	table := numadag.NewTableSink(numadag.TableOptions{
+//		Norm:     numadag.NormSpeedup,
+//		Baseline: func(c numadag.Cell) bool { return c.Policy == "LAS" },
+//		Geomean:  true,
+//	})
+//	if err := e.Run(context.Background(), table, numadag.NewJSONLSink(os.Stdout)); err != nil {
+//		log.Fatal(err)
+//	}
+//	table.Table().Write(os.Stdout)
+//
+// Policy names are registry specs: "name?key=value" parameterizes a
+// registered family (e.g. the RGP partitioner ablations). Replicate seeds
+// always derive from the base seed via DeriveSeed — seed + 1000*replicate —
+// and every cell of an Experiment runs through the audited Run path.
 package numadag
 
 import (
+	"io"
+
 	"numadag/internal/apps"
 	"numadag/internal/core"
 	"numadag/internal/graph"
@@ -28,6 +61,7 @@ import (
 	"numadag/internal/memory"
 	"numadag/internal/metrics"
 	"numadag/internal/partition"
+	"numadag/internal/policy"
 	"numadag/internal/rt"
 	"numadag/internal/sim"
 	"numadag/internal/trace"
@@ -126,7 +160,66 @@ type (
 	Table = metrics.Table
 	// Scale selects a problem-size preset.
 	Scale = apps.Scale
+
+	// Experiment declares an evaluation grid (apps x policies x machines x
+	// variants x seeds) executed on a shared worker pool with every cell
+	// audited.
+	Experiment = core.Experiment
+	// ExperimentVariant is one runtime-option mutation axis value.
+	ExperimentVariant = core.Variant
+	// Cell identifies one run of an experiment grid.
+	Cell = core.Cell
+	// CellResult couples a cell with its config and statistics.
+	CellResult = core.CellResult
+	// Sink consumes streaming cell results in deterministic order.
+	Sink = core.Sink
+	// SinkFunc adapts a function to the Sink interface.
+	SinkFunc = core.SinkFunc
+	// TableSink aggregates cell results into a Table.
+	TableSink = core.TableSink
+	// TableOptions declares a TableSink's axes and normalization.
+	TableOptions = core.TableOptions
+	// Norm selects a TableSink value transformation.
+	Norm = core.Norm
+	// PolicySpec is a parsed policy registry spec (name + parameters).
+	PolicySpec = policy.Spec
+	// PolicyFactory builds a policy instance from a parsed spec.
+	PolicyFactory = policy.Factory
 )
+
+// Table normalizations.
+const (
+	NormRaw     = core.NormRaw
+	NormSpeedup = core.NormSpeedup
+	NormRatio   = core.NormRatio
+	NormBest    = core.NormBest
+)
+
+// RegisterPolicy adds a custom policy factory to the registry; the name is
+// then usable in Config.Policy, Experiment.Policies and NewPolicy specs.
+func RegisterPolicy(name string, f PolicyFactory) error { return policy.Register(name, f) }
+
+// MustRegisterPolicy is RegisterPolicy, panicking on error.
+func MustRegisterPolicy(name string, f PolicyFactory) { policy.MustRegister(name, f) }
+
+// ParsePolicySpec parses "name?key=value&..." into a PolicySpec.
+func ParsePolicySpec(s string) (PolicySpec, error) { return policy.ParseSpec(s) }
+
+// RegisteredPolicies lists every registered policy name, sorted.
+func RegisteredPolicies() []string { return policy.Names() }
+
+// DeriveSeed is the evaluation-wide replicate-seed formula:
+// base + 1000*replicate.
+func DeriveSeed(base uint64, replicate int) uint64 { return core.DeriveSeed(base, replicate) }
+
+// NewTableSink creates a streaming table aggregator.
+func NewTableSink(opt TableOptions) *TableSink { return core.NewTableSink(opt) }
+
+// NewJSONLSink streams one JSON object per cell result to w.
+func NewJSONLSink(w io.Writer) Sink { return core.NewJSONLSink(w) }
+
+// NewCSVSink streams one CSV row per cell result to w.
+func NewCSVSink(w io.Writer) Sink { return core.NewCSVSink(w) }
 
 // Problem scales.
 const (
@@ -143,8 +236,9 @@ func DefaultConfig(app, policy string, scale Scale) Config {
 // Run executes one configuration.
 func Run(cfg Config) (RunResult, error) { return core.Run(cfg) }
 
-// Figure1 reproduces the paper's Figure 1 (speedups over LAS).
-func Figure1(opt Figure1Options) (*Table, error) { return core.Figure1(opt) }
+// Figure1 reproduces the paper's Figure 1 (speedups over LAS); optional
+// extra sinks receive every cell result alongside the table aggregation.
+func Figure1(opt Figure1Options, extra ...Sink) (*Table, error) { return core.Figure1(opt, extra...) }
 
 // DefaultFigure1Options returns the paper-faithful Figure-1 settings.
 func DefaultFigure1Options() Figure1Options { return core.DefaultFigure1Options() }
@@ -165,9 +259,10 @@ func Apps(s Scale) []App { return apps.All(s) }
 // PolicyNames lists the Figure-1 scheduling configurations.
 func PolicyNames() []string { return append([]string(nil), core.PolicyNames...) }
 
-// NewPolicy instantiates a policy by name (DFIFO, LAS, EP, RGP+LAS, RGP,
-// Random, OSMigrate).
-func NewPolicy(name string) (Policy, error) { return core.NewPolicy(name) }
+// NewPolicy instantiates a policy from a registry spec — a built-in name
+// (DFIFO, LAS, EP, RGP+LAS, RGP, Random, OSMigrate, HEFT), a registered
+// custom name, or a parameterized form like "RGP+LAS?matching=random".
+func NewPolicy(spec string) (Policy, error) { return core.NewPolicy(spec) }
 
 // Graph partitioning (the SCOTCH substitute), exposed for direct use.
 type (

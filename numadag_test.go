@@ -1,6 +1,10 @@
 package numadag_test
 
 import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
 	"testing"
 
 	"numadag"
@@ -91,5 +95,60 @@ func TestFacadeTraceRecorder(t *testing.T) {
 	r.Run()
 	if rec.Len() != 1 {
 		t.Fatalf("trace recorded %d events", rec.Len())
+	}
+}
+
+// TestFacadeExperimentWorkflow exercises the composable experiment API end
+// to end through the facade: register a custom policy, declare a grid over
+// it and a built-in baseline, stream cells to JSONL, aggregate a speedup
+// table.
+func TestFacadeExperimentWorkflow(t *testing.T) {
+	err := numadag.RegisterPolicy("facade-test-pol",
+		func(spec numadag.PolicySpec) (numadag.Policy, error) {
+			if err := spec.Only(); err != nil {
+				return nil, err
+			}
+			p, err := numadag.NewPolicy("DFIFO")
+			if err != nil {
+				return nil, err
+			}
+			return p, nil
+		})
+	// The registry is process-global: a repeated in-process test run
+	// (go test -count=2) legitimately finds the name already taken.
+	if err != nil && !strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range numadag.RegisteredPolicies() {
+		if n == "facade-test-pol" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("RegisteredPolicies() = %v", numadag.RegisteredPolicies())
+	}
+	e := &numadag.Experiment{
+		Apps:     []string{"jacobi"},
+		Policies: []string{"LAS", "facade-test-pol"},
+		Scale:    numadag.ScaleTiny,
+		Seeds:    2,
+	}
+	var jsonl strings.Builder
+	table := numadag.NewTableSink(numadag.TableOptions{
+		Norm:     numadag.NormSpeedup,
+		Baseline: func(c numadag.Cell) bool { return c.Policy == "LAS" },
+	})
+	if err := e.Run(context.Background(), table, numadag.NewJSONLSink(&jsonl)); err != nil {
+		t.Fatal(err)
+	}
+	if v := table.Table().Get("jacobi", "facade-test-pol"); math.IsNaN(v) || v <= 0 {
+		t.Fatalf("speedup cell = %v", v)
+	}
+	if got := strings.Count(jsonl.String(), "\n"); got != 4 {
+		t.Fatalf("JSONL streamed %d lines, want 4", got)
+	}
+	if want := numadag.DeriveSeed(numadag.DefaultRuntimeOptions().Seed, 1); !strings.Contains(jsonl.String(), fmt.Sprintf(`"seed":%d`, want)) {
+		t.Fatalf("JSONL missing derived seed %d:\n%s", want, jsonl.String())
 	}
 }
