@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short bench bench-sim bench-json vet fmt-check ci clean
+.PHONY: build test test-short test-race bench bench-sim bench-json vet fmt-check ci clean
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The experiment worker pool shares TDG snapshots across cells; the race
+# detector guards that read-only sharing.
+test-race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -21,16 +26,17 @@ fmt-check:
 	fi
 
 # Mirrors .github/workflows/ci.yml.
-ci: fmt-check build vet test
+ci: fmt-check build vet test test-race
 
 # Full benchmark families (paper figures + ablations).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# Simulator hot-path families only: the Figure-1 runs plus the sim
-# micro-benchmarks whose allocs/op pin the zero-allocation contract.
+# Simulator hot-path families only: the Figure-1 runs, the multi-seed sweep
+# (TDG-cache) family, plus the sim micro-benchmarks whose allocs/op pin the
+# zero-allocation contract.
 bench-sim:
-	$(GO) test -run '^$$' -bench 'BenchmarkFigure1|BenchmarkAblationSockets' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure1|BenchmarkAblationSockets|BenchmarkMultiSeedSweep' -benchmem .
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/sim/
 
 # Machine-readable perf trajectory: writes BENCH_sim.json.

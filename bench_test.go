@@ -16,6 +16,7 @@
 package numadag_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -131,6 +132,38 @@ func BenchmarkAblationPropagation(b *testing.B) {
 	for _, pol := range []string{"LAS", "RGP+LAS", "RGP"} {
 		b.Run(pol, func(b *testing.B) {
 			runSim(b, core.DefaultConfig("gauss-seidel", pol, apps.Small))
+		})
+	}
+}
+
+// BenchmarkMultiSeedSweep measures a replicated experiment grid — the
+// paper-scale sweep pattern (one workload x policy cell averaged over many
+// seeds). With the TDG cache each workload's task graph is generated once
+// per (workload, machine) and installed into every replicate; /nocache runs
+// the identical grid with the cache disabled, so the delta between the two
+// is the redundant graph-construction cost the cache removes.
+func BenchmarkMultiSeedSweep(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		tdgCache int
+	}{{"cached", 0}, {"nocache", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := rt.DefaultOptions()
+				opts.Seed = uint64(i + 1)
+				e := &core.Experiment{
+					Apps:     []string{"jacobi", "qr"},
+					Policies: []string{"LAS"},
+					Scale:    apps.Small,
+					Runtime:  opts,
+					Seeds:    8,
+					TDGCache: mode.tdgCache,
+				}
+				if err := e.Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -1,11 +1,15 @@
 // Command dagpart is a stand-alone interface to the multilevel graph
-// partitioner (the SCOTCH substitute): it builds a benchmark's task
+// partitioner (the SCOTCH substitute): it builds a workload's task
 // dependency graph (or reads one from JSON), partitions or maps it, prints
 // cut/balance statistics, and can export a colored DOT rendering.
+//
+// -app accepts any workload registry spec (see dagen -list), so synthetic
+// generators partition exactly like the paper benchmarks.
 //
 // Usage:
 //
 //	dagpart -app qr -scale tiny -parts 8
+//	dagpart -app "random-layered?layers=24&width=96" -parts 8
 //	dagpart -in graph.json -parts 4 -imbalance 0.03
 //	dagpart -app jacobi -map -dot jacobi.dot      # map onto the bullion
 package main
@@ -20,13 +24,13 @@ import (
 	"numadag/internal/graph"
 	"numadag/internal/machine"
 	"numadag/internal/partition"
-	"numadag/internal/rt"
 	"numadag/internal/sim"
+	"numadag/internal/workload"
 )
 
 func main() {
 	var (
-		appName   = flag.String("app", "", "build the TDG of this benchmark")
+		appName   = flag.String("app", "", "build the TDG of this workload spec (see dagen -list)")
 		scale     = flag.String("scale", "tiny", "problem scale for -app")
 		inFile    = flag.String("in", "", "read a DAG from this JSON file instead of -app")
 		parts     = flag.Int("parts", 8, "number of parts")
@@ -118,23 +122,19 @@ func loadDAG(appName, scale, inFile string) (*graph.DAG, error) {
 		if err != nil {
 			return nil, err
 		}
-		app, err := apps.ByName(appName, sc)
+		w, err := workload.New(appName, sc)
 		if err != nil {
 			return nil, err
 		}
-		m := machine.New(machine.BullionS16(), sim.NewEngine())
-		r := rt.NewRuntime(m, nopPolicy{}, rt.Options{})
-		app.Build(r)
+		r, err := w.Instantiate(machine.BullionS16())
+		if err != nil {
+			return nil, err
+		}
 		return r.Graph(), nil
 	default:
 		return nil, fmt.Errorf("need -app or -in")
 	}
 }
-
-type nopPolicy struct{}
-
-func (nopPolicy) Name() string                         { return "nop" }
-func (nopPolicy) PickSocket(*rt.Runtime, *rt.Task) int { return 0 }
 
 func archFrom(cfg machine.Config) *partition.Arch {
 	m := machine.New(cfg, sim.NewEngine())

@@ -2,18 +2,25 @@
 // RGP+LAS and EP over the LAS baseline for the eight benchmarks on the
 // simulated Atos bullion S16 (8 sockets x 4 cores), plus the geometric mean.
 //
+// Each (workload, machine) task graph is built once per run and shared
+// across the policy/seed cells via the experiment's TDG cache, so multi-seed
+// sweeps pay generator cost once. -apps accepts workload registry specs, so
+// the figure can be regenerated over synthetic or imported DAGs too.
+//
 // Usage:
 //
 //	figure1                      # paper scale, 3 seeds (a few minutes)
 //	figure1 -scale small -seeds 2
 //	figure1 -bars                # ASCII bar chart like the paper's figure
 //	figure1 -jsonl cells.jsonl   # stream per-cell results while running
+//	figure1 -apps "jacobi,forkjoin?depth=8&fanout=3" -scale small
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"numadag/internal/apps"
 	"numadag/internal/core"
@@ -21,12 +28,13 @@ import (
 
 func main() {
 	var (
-		scale  = flag.String("scale", "paper", "problem scale: tiny, small, paper")
-		seeds  = flag.Int("seeds", 3, "seeds averaged per cell")
-		bars   = flag.Bool("bars", false, "render ASCII bars instead of a table")
-		csvF   = flag.String("csv", "", "also write the table as CSV to this file")
-		jsonlF = flag.String("jsonl", "", "stream per-cell results as JSON lines to this file")
-		wsize  = flag.Int("window", 0, "override window size (0 = default 2048)")
+		scale    = flag.String("scale", "paper", "problem scale: tiny, small, paper")
+		seeds    = flag.Int("seeds", 3, "seeds averaged per cell")
+		bars     = flag.Bool("bars", false, "render ASCII bars instead of a table")
+		csvF     = flag.String("csv", "", "also write the table as CSV to this file")
+		jsonlF   = flag.String("jsonl", "", "stream per-cell results as JSON lines to this file")
+		wsize    = flag.Int("window", 0, "override window size (0 = default 2048)")
+		appsFlag = flag.String("apps", "", "comma-separated workload specs (default: the eight paper benchmarks)")
 	)
 	flag.Parse()
 
@@ -39,6 +47,9 @@ func main() {
 	opt.Seeds = *seeds
 	if *wsize > 0 {
 		opt.Runtime.WindowSize = *wsize
+	}
+	if *appsFlag != "" {
+		opt.Apps = strings.Split(*appsFlag, ",")
 	}
 	var extra []core.Sink
 	if *jsonlF != "" {

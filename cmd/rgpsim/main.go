@@ -1,15 +1,18 @@
-// Command rgpsim runs one benchmark under one scheduling policy on the
+// Command rgpsim runs one workload under one scheduling policy on the
 // simulated NUMA machine and reports the run's statistics, optionally
-// dumping an execution trace. The -policy flag accepts any policy registry
-// spec, including parameterized ones ("RGP+LAS?matching=random"); every run
-// goes through the audited core.Run path.
+// dumping an execution trace. Both axes are registry specs: -policy accepts
+// any policy spec ("RGP+LAS?matching=random") and -app accepts any workload
+// spec — a paper benchmark, a parameterized synthetic generator or an
+// imported DAG; every run goes through the audited core.Run path.
 //
 // Usage:
 //
 //	rgpsim -app jacobi -policy RGP+LAS -scale paper
+//	rgpsim -app "random-layered?layers=24&width=96" -policy RGP+LAS
+//	rgpsim -app "file?path=testdata/dags/diamond.json" -policy LAS
 //	rgpsim -app nstream -policy LAS -machine 2socket -gantt
 //	rgpsim -app qr -policy EP -trace qr.json   # chrome://tracing format
-//	rgpsim -list                               # registered policies
+//	rgpsim -list                               # registered policies + workloads
 package main
 
 import (
@@ -24,11 +27,12 @@ import (
 	"numadag/internal/policy"
 	"numadag/internal/rt"
 	"numadag/internal/trace"
+	"numadag/internal/workload"
 )
 
 func main() {
 	var (
-		appName  = flag.String("app", "jacobi", "benchmark: "+strings.Join(apps.Names(), ", "))
+		appName  = flag.String("app", "jacobi", "workload registry spec (see -list), e.g. jacobi or forkjoin?depth=6")
 		polName  = flag.String("policy", "RGP+LAS", "policy registry spec (see -list), e.g. LAS or RGP+LAS?refine=off")
 		scale    = flag.String("scale", "small", "problem scale: tiny, small, paper")
 		machName = flag.String("machine", "bullion", "machine: bullion, 2socket, 4socket, uniform")
@@ -37,19 +41,22 @@ func main() {
 		noSteal  = flag.Bool("nosteal", false, "disable cross-socket work stealing")
 		traceOut = flag.String("trace", "", "write Chrome trace JSON to this file")
 		gantt    = flag.Bool("gantt", false, "print a per-core text Gantt chart")
-		list     = flag.Bool("list", false, "list registered policies and exit")
+		list     = flag.Bool("list", false, "list registered policies and workloads, then exit")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(policy.Names(), "\n"))
+		fmt.Println("policies:")
+		fmt.Println("  " + strings.Join(policy.Names(), "\n  "))
+		fmt.Println("workloads (dagen -list for docs):")
+		fmt.Println("  " + strings.Join(workload.Names(), "\n  "))
 		return
 	}
 	sc, err := apps.ParseScale(*scale)
 	if err != nil {
 		fatal(err)
 	}
-	mach, err := machineByName(*machName)
+	mach, err := machine.ByName(*machName)
 	if err != nil {
 		fatal(err)
 	}
@@ -96,21 +103,6 @@ func main() {
 		if err := rec.WriteGantt(os.Stdout, mach.TotalCores(), 100); err != nil {
 			fatal(err)
 		}
-	}
-}
-
-func machineByName(name string) (machine.Config, error) {
-	switch name {
-	case "bullion":
-		return machine.BullionS16(), nil
-	case "2socket":
-		return machine.TwoSocketXeon(), nil
-	case "4socket":
-		return machine.FourSocket(), nil
-	case "uniform":
-		return machine.Uniform(8, 4), nil
-	default:
-		return machine.Config{}, fmt.Errorf("unknown machine %q", name)
 	}
 }
 

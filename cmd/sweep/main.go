@@ -16,7 +16,12 @@
 //
 //	sweep -exp window -scale small
 //	sweep -exp sockets -apps jacobi,nstream
+//	sweep -exp window -apps "random-layered?layers=24&width=96"
 //	sweep -exp partitioner -seeds 3 -jsonl cells.jsonl
+//
+// -apps takes workload registry specs (dagen -list), and every experiment
+// shares TDG construction across its policy/variant/seed cells through the
+// experiment's snapshot cache.
 package main
 
 import (
@@ -36,7 +41,7 @@ func main() {
 	var (
 		exp      = flag.String("exp", "window", "experiment: window, partitioner, sockets, propagation")
 		scale    = flag.String("scale", "small", "problem scale")
-		appsFlag = flag.String("apps", "", "comma-separated app subset (default depends on experiment)")
+		appsFlag = flag.String("apps", "", "comma-separated workload specs (default depends on experiment)")
 		seeds    = flag.Int("seeds", 2, "seeds averaged per cell")
 		jsonlF   = flag.String("jsonl", "", "stream per-cell results as JSON lines to this file")
 	)

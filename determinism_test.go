@@ -1,12 +1,15 @@
 // Determinism / equivalence suite for the simulator hot path.
 //
-// Every app x policy combination runs at ScaleSmall for three seeds and the
-// triple (Makespan, Engine.Steps, Net.TotalBytes) is checked against a golden
-// file. The makespan and byte totals pin down the *simulated physics* — any
-// change to the fluid-network allocation or event ordering that alters them
-// is a behaviour change, not an optimisation. The step count pins down the
-// event structure itself, so even a silent re-ordering of same-instant events
-// shows up.
+// Every app x policy combination — plus a pinned set of synthetic workload
+// specs — runs at ScaleSmall for three seeds and the triple (Makespan,
+// Engine.Steps, Net.TotalBytes) is checked against a golden file. The
+// makespan and byte totals pin down the *simulated physics* — any change to
+// the fluid-network allocation or event ordering that alters them is a
+// behaviour change, not an optimisation. The step count pins down the event
+// structure itself, so even a silent re-ordering of same-instant events
+// shows up. For the synthetic generators the goldens additionally pin the
+// generator's seeding: a drift in their RNG consumption shows up as a
+// different graph and therefore different totals.
 //
 // Regenerate the goldens (only when a behaviour change is intended) with:
 //
@@ -26,6 +29,7 @@ import (
 	"numadag/internal/core"
 	"numadag/internal/machine"
 	"numadag/internal/rt"
+	"numadag/internal/workload"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/determinism.json")
@@ -43,8 +47,17 @@ const goldenPath = "testdata/determinism.json"
 // the four Figure-1 policies plus the repartitioning RGP variant.
 var determinismPolicies = []string{"LAS", "DFIFO", "RGP+LAS", "EP", "RGP"}
 
-func runCell(t testing.TB, appName, polName string, seed uint64) goldenEntry {
-	app, err := apps.ByName(appName, apps.Small)
+// determinismSynthetics pins the synthetic workload generators' seeding:
+// one spec per generator family, sized well under the app benchmarks so the
+// added cells stay cheap.
+var determinismSynthetics = []string{
+	"random-layered?layers=10&width=24&fan=2&seed=7",
+	"forkjoin?depth=5&fanout=3&seed=7",
+	"file?path=testdata/dags/diamond.json",
+}
+
+func runCell(t testing.TB, spec, polName string, seed uint64) goldenEntry {
+	w, err := workload.New(spec, apps.Small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +70,9 @@ func runCell(t testing.TB, appName, polName string, seed uint64) goldenEntry {
 	opts := rt.DefaultOptions()
 	opts.Seed = seed
 	r := rt.NewRuntime(m, pol, opts)
-	app.Build(r)
+	if err := w.Build(r); err != nil {
+		t.Fatal(err)
+	}
 	res := r.Run()
 	return goldenEntry{
 		Makespan:   int64(res.Makespan),
@@ -75,7 +90,7 @@ func TestDeterminismGolden(t *testing.T) {
 		t.Skip("golden sweep is not short")
 	}
 	got := make(map[string]goldenEntry)
-	for _, app := range apps.Names() {
+	for _, app := range append(apps.Names(), determinismSynthetics...) {
 		for _, pol := range determinismPolicies {
 			for seed := uint64(1); seed <= 3; seed++ {
 				got[cellKey(app, pol, seed)] = runCell(t, app, pol, seed)
@@ -124,7 +139,7 @@ func TestDeterminismGolden(t *testing.T) {
 // demands bit-identical results — catches nondeterminism that a golden file
 // (generated once) cannot, e.g. map-iteration order leaking into allocation.
 func TestDeterminismRepeatable(t *testing.T) {
-	for _, app := range []string{"jacobi", "qr", "nstream"} {
+	for _, app := range []string{"jacobi", "qr", "nstream", "random-layered?layers=8&width=16&seed=5"} {
 		for _, pol := range []string{"LAS", "RGP+LAS"} {
 			a := runCell(t, app, pol, 7)
 			b := runCell(t, app, pol, 7)

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"numadag/internal/machine"
+	"numadag/internal/rt"
+	"numadag/internal/workload"
+)
+
+// snapshotCache memoizes built task graphs (rt.Snapshot) for one
+// Experiment, keyed by (workload key, machine topology). Concurrent workers
+// asking for the same key share a single build — the first caller runs it
+// under the entry's once, the rest block on it — so an N-replicate sweep
+// constructs each graph exactly once. The cache is bounded: beyond cap
+// entries the oldest key is evicted (in-flight holders of an evicted entry
+// are unaffected; they keep their reference).
+type snapshotCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	order   []string
+	hits    int
+	misses  int
+}
+
+type cacheEntry struct {
+	once sync.Once
+	snap *rt.Snapshot
+	err  error
+}
+
+func newSnapshotCache(capacity int) *snapshotCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &snapshotCache{cap: capacity, entries: make(map[string]*cacheEntry)}
+}
+
+// get returns the snapshot for key, building it at most once across
+// concurrent callers.
+func (c *snapshotCache) get(key string, build func() (*rt.Snapshot, error)) (*rt.Snapshot, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.order = append(c.order, key)
+		if len(c.order) > c.cap {
+			evict := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, evict)
+		}
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.snap, e.err = build() })
+	return e.snap, e.err
+}
+
+// stats returns the hit/miss counters (test hook).
+func (c *snapshotCache) stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// cacheKey identifies a built TDG: the workload key (canonical spec, scale,
+// generator seed) plus the machine topology — expert placements and data
+// distributions depend on the socket layout, so the same spec on a
+// different machine is a different graph.
+func cacheKey(w workload.Workload, mc machine.Config) string {
+	return fmt.Sprintf("%s|%s/%dx%d", w.Key(), mc.Name, mc.Sockets, mc.CoresPerSocket)
+}
+
+// buildSnapshot prototypes the workload on a throwaway runtime and captures
+// the result for installation into real runs.
+func buildSnapshot(w workload.Workload, mc machine.Config) (*rt.Snapshot, error) {
+	r, err := w.Instantiate(mc)
+	if err != nil {
+		return nil, fmt.Errorf("core: build %s: %w", w.Spec, err)
+	}
+	return rt.Snap(r)
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"numadag/internal/apps"
+	"numadag/internal/machine"
+	"numadag/internal/memory"
+	"numadag/internal/rt"
+	"numadag/internal/workload"
+)
+
+// countingWorkload registers a tiny unique workload whose Build invocations
+// are counted, and returns its spec plus the counter.
+func countingWorkload(t *testing.T, noCache bool) (string, *atomic.Int64) {
+	t.Helper()
+	var builds atomic.Int64
+	name := fmt.Sprintf("count-%s-%v", t.Name(), noCache)
+	err := workload.Register(name, "test counter", func(s workload.Spec, _ apps.Scale, _ uint64) (workload.Workload, error) {
+		if err := s.Only(); err != nil {
+			return workload.Workload{}, err
+		}
+		return workload.Workload{
+			NoCache: noCache,
+			Build: func(r *rt.Runtime) error {
+				builds.Add(1)
+				reg := r.Mem().Alloc("x", 64<<10, memory.Deferred, 0)
+				prev := r.Submit(rt.TaskSpec{Label: "w", Flops: 4000,
+					Accesses: []rt.Access{{Region: reg, Mode: rt.Out}}, EPSocket: rt.NoEPHint})
+				_ = prev
+				for i := 0; i < 8; i++ {
+					r.Submit(rt.TaskSpec{Label: fmt.Sprintf("r%d", i), Flops: 2000,
+						Accesses: []rt.Access{{Region: reg, Mode: rt.In}}, EPSocket: rt.NoEPHint})
+				}
+				return nil
+			},
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return name, &builds
+}
+
+// TestExperimentTDGCacheBuildsOnce runs a multi-replicate, multi-policy grid
+// on concurrent workers and checks the workload generator ran exactly once
+// per (workload, machine) pair.
+func TestExperimentTDGCacheBuildsOnce(t *testing.T) {
+	spec, builds := countingWorkload(t, false)
+	e := &Experiment{
+		Name:     "cache-once",
+		Apps:     []string{spec},
+		Policies: []string{"LAS", "DFIFO"},
+		Scale:    apps.Tiny,
+		Machines: []machine.Config{machine.TwoSocketXeon(), machine.FourSocket()},
+		Seeds:    5,
+		Workers:  4,
+	}
+	if err := e.Run(context.Background(), SinkFunc(func(CellResult) error { return nil })); err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Load(); got != 2 { // one per machine
+		t.Errorf("builds = %d, want 2 (one per machine)", got)
+	}
+}
+
+// TestExperimentTDGCacheDisabled checks that TDGCache < 0 and per-workload
+// NoCache both fall back to building every cell.
+func TestExperimentTDGCacheDisabled(t *testing.T) {
+	spec, builds := countingWorkload(t, false)
+	e := &Experiment{
+		Apps:     []string{spec},
+		Policies: []string{"LAS"},
+		Scale:    apps.Tiny,
+		Machines: []machine.Config{machine.TwoSocketXeon()},
+		Seeds:    4,
+		Workers:  2,
+		TDGCache: -1,
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Load(); got != 4 {
+		t.Errorf("disabled cache: builds = %d, want 4", got)
+	}
+
+	nspec, nbuilds := countingWorkload(t, true)
+	e2 := &Experiment{
+		Apps:     []string{nspec},
+		Policies: []string{"LAS"},
+		Scale:    apps.Tiny,
+		Machines: []machine.Config{machine.TwoSocketXeon()},
+		Seeds:    3,
+		Workers:  2,
+	}
+	if err := e2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := nbuilds.Load(); got != 3 {
+		t.Errorf("NoCache workload: builds = %d, want 3", got)
+	}
+}
+
+// TestExperimentCacheEquivalence pins the cache's core guarantee: a grid
+// run with the cache produces cell-for-cell identical statistics to the
+// same grid with the cache disabled.
+func TestExperimentCacheEquivalence(t *testing.T) {
+	collect := func(tdgCache int) []CellResult {
+		var out []CellResult
+		e := &Experiment{
+			Apps:     []string{"jacobi", "random-layered?layers=5&width=8&seed=3"},
+			Policies: []string{"LAS", "RGP+LAS"},
+			Scale:    apps.Tiny,
+			Seeds:    2,
+			TDGCache: tdgCache,
+		}
+		err := e.Run(context.Background(), SinkFunc(func(r CellResult) error {
+			out = append(out, r)
+			return nil
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cached, rebuilt := collect(0), collect(-1)
+	if len(cached) != len(rebuilt) || len(cached) == 0 {
+		t.Fatalf("cell counts: %d vs %d", len(cached), len(rebuilt))
+	}
+	for i := range cached {
+		if !reflect.DeepEqual(cached[i].Stats, rebuilt[i].Stats) {
+			t.Errorf("cell %d (%s/%s seed %d) diverged with cache:\n  cached:  %+v\n  rebuilt: %+v",
+				i, cached[i].Cell.App, cached[i].Cell.Policy, cached[i].Cell.Seed,
+				cached[i].Stats, rebuilt[i].Stats)
+		}
+	}
+}
+
+// TestSnapshotCacheSingleflight hammers one key from many goroutines and
+// demands exactly one build, everyone sharing its result.
+func TestSnapshotCacheSingleflight(t *testing.T) {
+	c := newSnapshotCache(4)
+	var builds atomic.Int64
+	w, err := workload.New("forkjoin?depth=3&fanout=2", apps.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() (*rt.Snapshot, error) {
+		builds.Add(1)
+		return buildSnapshot(w, machine.TwoSocketXeon())
+	}
+	var wg sync.WaitGroup
+	snaps := make([]*rt.Snapshot, 16)
+	for i := 0; i < len(snaps); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := c.get("k", build)
+			if err != nil {
+				t.Error(err)
+			}
+			snaps[i] = s
+		}(i)
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Errorf("builds = %d, want 1", builds.Load())
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i] != snaps[0] {
+			t.Fatal("goroutines received different snapshots")
+		}
+	}
+	hits, misses := c.stats()
+	if hits != 15 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 15/1", hits, misses)
+	}
+}
+
+// TestSnapshotCacheBounded checks FIFO eviction at the capacity bound.
+func TestSnapshotCacheBounded(t *testing.T) {
+	c := newSnapshotCache(2)
+	mk := func(key string) int {
+		n := 0
+		if _, err := c.get(key, func() (*rt.Snapshot, error) { n++; return &rt.Snapshot{}, nil }); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	mk("a")
+	mk("b")
+	if n := mk("a"); n != 0 {
+		t.Error("a rebuilt while cached")
+	}
+	mk("c") // evicts a (oldest)
+	if n := mk("a"); n != 1 {
+		t.Error("a not evicted at capacity")
+	}
+}

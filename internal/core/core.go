@@ -14,6 +14,7 @@ import (
 	"numadag/internal/policy"
 	"numadag/internal/rt"
 	"numadag/internal/sim"
+	"numadag/internal/workload"
 )
 
 // PolicyNames lists the Figure-1 configurations in the paper's legend
@@ -29,7 +30,11 @@ func NewPolicy(spec string) (rt.Policy, error) {
 	return policy.New(spec)
 }
 
-// Config describes one simulation run.
+// Config describes one simulation run. App is a workload registry spec —
+// a benchmark name ("jacobi"), a parameterized generator
+// ("random-layered?layers=24&width=96") or an imported DAG
+// ("file?path=graph.json"); Scale is the contextual problem size a spec
+// without an explicit scale= parameter resolves at.
 type Config struct {
 	App     string
 	Scale   apps.Scale
@@ -62,10 +67,14 @@ type RunResult struct {
 // statistics are trusted; an audit failure is a bug in the runtime or
 // policy, surfaced as an error rather than a silently wrong data point.
 func Run(cfg Config) (RunResult, error) {
-	app, err := apps.ByName(cfg.App, cfg.Scale)
-	if err != nil {
-		return RunResult{}, err
-	}
+	return runWith(cfg, nil, nil)
+}
+
+// runWith executes one configuration. The task graph comes from, in order
+// of preference: a previously captured snapshot (the Experiment cache's hit
+// path — bit-identical to rebuilding), an already-resolved workload, or
+// resolving cfg.App through the workload registry.
+func runWith(cfg Config, w *workload.Workload, snap *rt.Snapshot) (RunResult, error) {
 	pol, err := NewPolicy(cfg.Policy)
 	if err != nil {
 		return RunResult{}, err
@@ -73,7 +82,20 @@ func Run(cfg Config) (RunResult, error) {
 	eng := sim.NewEngine()
 	m := machine.New(cfg.Machine, eng)
 	r := rt.NewRuntime(m, pol, cfg.Runtime)
-	app.Build(r)
+	if snap != nil {
+		snap.Install(r)
+	} else {
+		if w == nil {
+			resolved, err := workload.New(cfg.App, cfg.Scale)
+			if err != nil {
+				return RunResult{}, err
+			}
+			w = &resolved
+		}
+		if err := w.Build(r); err != nil {
+			return RunResult{}, fmt.Errorf("core: build %s: %w", cfg.App, err)
+		}
+	}
 	stats := r.Run()
 	if err := r.AuditSchedule(); err != nil {
 		return RunResult{}, fmt.Errorf("core: %s/%s: %w", cfg.App, cfg.Policy, err)

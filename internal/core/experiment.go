@@ -11,6 +11,7 @@ import (
 	"numadag/internal/apps"
 	"numadag/internal/machine"
 	"numadag/internal/rt"
+	"numadag/internal/workload"
 )
 
 // DeriveSeed is the single source of truth for replicate seeds across the
@@ -74,7 +75,10 @@ type Sink interface {
 type Experiment struct {
 	// Name labels the experiment (used in progress/diagnostic output).
 	Name string
-	// Apps lists benchmark names; nil means all registered benchmarks.
+	// Apps lists workload registry specs — benchmark names ("jacobi"),
+	// parameterized generators ("random-layered?layers=24&width=96",
+	// "jacobi?nb=32&iters=4") or imported DAGs ("file?path=g.json"). Nil
+	// means the paper's eight benchmarks.
 	Apps []string
 	// Policies lists policy registry specs; must be non-empty.
 	Policies []string
@@ -96,6 +100,16 @@ type Experiment struct {
 	Seeds int
 	// Workers caps the worker pool; 0 means GOMAXPROCS.
 	Workers int
+	// TDGCache bounds the per-experiment snapshot cache that shares each
+	// workload's built task graph across replicates (and across policy and
+	// variant cells): 0 auto-sizes it to the grid's distinct (workload,
+	// machine) pairs, a positive value caps the number of cached graphs,
+	// and a negative value disables caching — every cell then rebuilds its
+	// graph from the generator. Installed graphs are bit-identical to
+	// rebuilt ones, so the cache never changes results; disabling it only
+	// matters for workloads that declare NoCache themselves (those are
+	// always rebuilt) or to bound memory on huge grids.
+	TDGCache int
 	// Progress, if set, is called after each in-order delivery with the
 	// number of delivered cells and the grid size.
 	Progress func(done, total int, res CellResult)
@@ -196,6 +210,23 @@ func (e *Experiment) Cells() ([]Cell, error) {
 	return cells, nil
 }
 
+// runCell executes one grid cell. With the cache enabled (and the workload
+// not marked NoCache), the cell installs the memoized task-graph snapshot —
+// built once per (workload, machine) pair no matter how many policies,
+// variants and replicates share it — instead of re-running the generator.
+func runCell(cfg Config, p plan, w workload.Workload, cache *snapshotCache) (RunResult, error) {
+	if cache == nil || w.NoCache {
+		return runWith(cfg, &w, nil)
+	}
+	snap, err := cache.get(cacheKey(w, p.mach), func() (*rt.Snapshot, error) {
+		return buildSnapshot(w, p.mach)
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	return runWith(cfg, nil, snap)
+}
+
 // config builds the audited-run configuration for one plan.
 func (e *Experiment) config(p plan) Config {
 	cfg := Config{
@@ -234,6 +265,33 @@ func (e *Experiment) run(ctx context.Context, sinks ...Sink) error {
 	if err != nil {
 		return err
 	}
+	// Resolve each distinct workload spec once up front: resolution may
+	// touch disk (file import) and the instances are shared by every cell
+	// and by the snapshot cache. A bad spec fails the whole grid here,
+	// before any simulation time is spent.
+	wls := make(map[string]workload.Workload)
+	pairs := make(map[string]struct{})
+	for _, p := range ps {
+		w, ok := wls[p.cell.App]
+		if !ok {
+			var err error
+			if w, err = workload.New(p.cell.App, e.Scale); err != nil {
+				return err
+			}
+			wls[p.cell.App] = w
+		}
+		// Count distinct cells under the cache's own key scheme, so the
+		// auto-sized capacity matches the number of live entries exactly.
+		pairs[cacheKey(w, p.mach)] = struct{}{}
+	}
+	var cache *snapshotCache
+	if e.TDGCache >= 0 {
+		capacity := e.TDGCache
+		if capacity == 0 {
+			capacity = len(pairs)
+		}
+		cache = newSnapshotCache(capacity)
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -265,7 +323,7 @@ func (e *Experiment) run(ctx context.Context, sinks ...Sink) error {
 					return
 				}
 				cfg := e.config(ps[i])
-				res, err := Run(cfg)
+				res, err := runCell(cfg, ps[i], wls[ps[i].cell.App], cache)
 				if err != nil {
 					// Any error dooms the experiment; stop claiming cells
 					// instead of burning cycles until cancellation lands.

@@ -163,6 +163,23 @@ func FourSocket() Config {
 // depends only on the core's own concurrency limit, never on placement.
 // It is the control configuration: every placement policy must converge on
 // it (TestUniformMachineEqualizesPolicies relies on this).
+// ByName returns a preset topology by its CLI name — the shared vocabulary
+// of every command's -machine flag.
+func ByName(name string) (Config, error) {
+	switch name {
+	case "bullion":
+		return BullionS16(), nil
+	case "2socket":
+		return TwoSocketXeon(), nil
+	case "4socket":
+		return FourSocket(), nil
+	case "uniform":
+		return Uniform(8, 4), nil
+	default:
+		return Config{}, fmt.Errorf("machine: unknown machine %q (bullion, 2socket, 4socket, uniform)", name)
+	}
+}
+
 func Uniform(sockets, coresPerSocket int) Config {
 	return Config{
 		Name:           fmt.Sprintf("uniform-%dx%d", sockets, coresPerSocket),

@@ -95,6 +95,13 @@ type Runtime struct {
 	// subsequently submitted task must depend on (taskwait semantics).
 	barrierTask *Task
 	barriers    int
+	// barrierIDs records the sync tasks Barrier submitted, in order, so a
+	// Snapshot can replay the window state machine exactly.
+	barrierIDs []graph.NodeID
+	// installed marks a runtime whose task graph came from a Snapshot;
+	// further Submit/Barrier calls are rejected because the dependence
+	// trackers were never populated.
+	installed bool
 
 	stats Result
 }
@@ -179,6 +186,9 @@ func (r *Runtime) Barrier() {
 	if r.running {
 		panic("rt: Barrier during Run")
 	}
+	if r.installed {
+		panic("rt: Barrier after Install")
+	}
 	if len(r.tasks) == 0 || r.tasks[len(r.tasks)-1] == r.barrierTask {
 		return // nothing submitted since the last barrier
 	}
@@ -202,6 +212,7 @@ func (r *Runtime) Barrier() {
 		}
 	}
 	r.barrierTask = sync
+	r.barrierIDs = append(r.barrierIDs, sync.ID)
 	// The sync task consumed one slot of the fresh window; give user tasks
 	// the full window after the barrier.
 	r.windowCount = 0
@@ -242,6 +253,9 @@ func (r *Runtime) WindowTasks(w int) []*Task {
 func (r *Runtime) Submit(spec TaskSpec) *Task {
 	if r.running {
 		panic("rt: Submit during Run")
+	}
+	if r.installed {
+		panic("rt: Submit after Install")
 	}
 	if spec.EPSocket != NoEPHint && (spec.EPSocket < 0 || spec.EPSocket >= r.mach.Sockets()) {
 		panic(fmt.Sprintf("rt: EP socket %d out of range", spec.EPSocket))

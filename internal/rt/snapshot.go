@@ -1,0 +1,184 @@
+package rt
+
+import (
+	"fmt"
+
+	"numadag/internal/graph"
+	"numadag/internal/memory"
+)
+
+// Snapshot captures the complete submission phase of a runtime — regions,
+// tasks, dependence edges and barrier structure — so an identical task graph
+// can be installed into fresh runtimes without re-running the generator or
+// re-deriving dependences. A multi-seed sweep builds each workload's TDG
+// once and installs it into every replicate's runtime.
+//
+// The TDG itself is shared between the snapshot and every runtime it is
+// installed into: the graph is read-only once submission ends, so concurrent
+// runs can hold the same *graph.DAG. Tasks and regions are mutated during
+// execution (placement, first-touch), so Install materializes fresh ones.
+//
+// Window indices are not captured; Install replays the window state machine
+// against the target runtime's own WindowSize, so one snapshot serves every
+// window-size variant of an experiment.
+type Snapshot struct {
+	tdg     *graph.DAG
+	regions []regionSnap
+	tasks   []taskSnap
+}
+
+type regionSnap struct {
+	name      string
+	bytes     int64
+	placement memory.Placement
+	home      int
+}
+
+type accessSnap struct {
+	region int32
+	mode   AccessMode
+}
+
+type taskSnap struct {
+	label    string
+	flops    float64
+	ep       int
+	barrier  bool
+	accesses []accessSnap
+}
+
+// Snap captures the submission phase of r. It must be called after the task
+// graph is fully built and before Run. The snapshot borrows r's dependency
+// graph, so r must not submit further tasks afterwards (it is typically a
+// throwaway prototype runtime discarded after the capture).
+//
+// Every region a task accesses must come from r's own memory manager
+// (r.Mem().Alloc); a builder that allocates elsewhere cannot be snapshotted.
+func Snap(r *Runtime) (*Snapshot, error) {
+	if r.running || r.ranAlready {
+		return nil, fmt.Errorf("rt: Snap on a runtime that already ran")
+	}
+	regions := r.mem.Regions()
+	rs := make([]regionSnap, len(regions))
+	for i, reg := range regions {
+		home := 0
+		if reg.Placement() == memory.Home {
+			home = int(reg.HomeOfPage(0))
+		}
+		rs[i] = regionSnap{name: reg.Name(), bytes: reg.Bytes(), placement: reg.Placement(), home: home}
+	}
+	isBarrier := make(map[graph.NodeID]bool, len(r.barrierIDs))
+	for _, id := range r.barrierIDs {
+		isBarrier[id] = true
+	}
+	ts := make([]taskSnap, len(r.tasks))
+	for i, t := range r.tasks {
+		var acc []accessSnap
+		if len(t.Accesses) > 0 {
+			acc = make([]accessSnap, len(t.Accesses))
+			for j, a := range t.Accesses {
+				id := a.Region.ID()
+				if id < 0 || id >= len(regions) || regions[id] != a.Region {
+					return nil, fmt.Errorf("rt: Snap: task %q accesses a region not allocated from the runtime's memory manager", t.Label)
+				}
+				acc[j] = accessSnap{region: int32(id), mode: a.Mode}
+			}
+		}
+		ts[i] = taskSnap{label: t.Label, flops: t.Flops, ep: t.EPSocket, barrier: isBarrier[t.ID], accesses: acc}
+	}
+	return &Snapshot{tdg: r.tdg, regions: rs, tasks: ts}, nil
+}
+
+// Tasks returns the number of captured tasks.
+func (s *Snapshot) Tasks() int { return len(s.tasks) }
+
+// Graph returns the captured task dependency graph. It is shared with every
+// runtime the snapshot is installed into and must not be mutated.
+func (s *Snapshot) Graph() *graph.DAG { return s.tdg }
+
+// Install materializes the snapshot into a fresh runtime: regions are
+// re-allocated (in the original order, so IDs match), tasks are recreated
+// with their dependence counts and successor lists taken from the shared
+// graph, and window indices are recomputed for the runtime's WindowSize.
+// The result is bit-identical to rebuilding the same task graph through
+// Submit. The runtime must be freshly created; after Install it can only
+// Run, not Submit.
+func (s *Snapshot) Install(r *Runtime) {
+	if r.running || r.ranAlready {
+		panic("rt: Install into a runtime that already ran")
+	}
+	if len(r.tasks) != 0 || len(r.mem.Regions()) != 0 {
+		panic("rt: Install into a non-fresh runtime")
+	}
+	regs := make([]*memory.Region, len(s.regions))
+	for i, rp := range s.regions {
+		regs[i] = r.mem.Alloc(rp.name, rp.bytes, rp.placement, rp.home)
+	}
+	n := len(s.tasks)
+	arena := make([]Task, n)
+	tasks := make([]*Task, n)
+	// Window state machine, replayed exactly as Submit/Barrier drive it.
+	ws := r.opts.WindowSize
+	curWindow, windowCount := 0, 0
+	nextSlot := func() int {
+		w := curWindow
+		windowCount++
+		if ws > 0 && windowCount >= ws {
+			curWindow++
+			windowCount = 0
+		}
+		return w
+	}
+	for i := range s.tasks {
+		tp := &s.tasks[i]
+		t := &arena[i]
+		var acc []Access
+		if len(tp.accesses) > 0 {
+			acc = make([]Access, len(tp.accesses))
+			for j, a := range tp.accesses {
+				acc[j] = Access{Region: regs[a.region], Mode: a.mode}
+			}
+		}
+		*t = Task{
+			ID:       graph.NodeID(i),
+			Label:    tp.label,
+			Flops:    tp.flops,
+			Accesses: acc,
+			EPSocket: tp.ep,
+			Socket:   -1,
+			Core:     -1,
+			pickedBy: AnySocket,
+		}
+		if tp.barrier {
+			// Mirror Barrier: close a non-empty window, burn one slot for
+			// the sync task, then hand user tasks a full fresh window.
+			if windowCount > 0 {
+				curWindow++
+				windowCount = 0
+			}
+			nextSlot()
+			windowCount = 0
+			t.Window = curWindow
+			r.barriers++
+			r.barrierIDs = append(r.barrierIDs, t.ID)
+			r.barrierTask = t
+		} else {
+			t.Window = nextSlot()
+		}
+		tasks[i] = t
+	}
+	for i := range tasks {
+		id := graph.NodeID(i)
+		tasks[i].nDeps = s.tdg.InDegree(id)
+		if d := s.tdg.OutDegree(id); d > 0 {
+			succ := make([]*Task, 0, d)
+			s.tdg.Succs(id, func(to graph.NodeID, _ int64) { succ = append(succ, tasks[to]) })
+			tasks[i].succs = succ
+		}
+	}
+	r.tdg = s.tdg
+	r.tasks = tasks
+	r.curWindow = curWindow
+	r.windowCount = windowCount
+	r.installed = true
+}

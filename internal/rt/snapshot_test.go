@@ -1,0 +1,200 @@
+package rt
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"numadag/internal/machine"
+	"numadag/internal/memory"
+	"numadag/internal/sim"
+)
+
+// buildMixed submits a small but structurally rich task graph: deferred,
+// interleaved and home-placed regions, RAW/WAR/WAW chains, EP hints, and
+// (optionally) barriers.
+func buildMixed(r *Runtime, barriers bool) {
+	a := r.Mem().Alloc("a", 64<<10, memory.Deferred, 0)
+	b := r.Mem().Alloc("b", 32<<10, memory.Interleave, 0)
+	c := r.Mem().Alloc("c", 16<<10, memory.Home, 1)
+	for i := 0; i < 6; i++ {
+		r.Submit(TaskSpec{
+			Label:    fmt.Sprintf("init%d", i),
+			Flops:    2000,
+			Accesses: []Access{{Region: a, Mode: Out}},
+			EPSocket: i % 2,
+		})
+	}
+	if barriers {
+		r.Barrier()
+	}
+	for i := 0; i < 8; i++ {
+		acc := []Access{{Region: a, Mode: In}, {Region: b, Mode: InOut}}
+		if i%3 == 0 {
+			acc = append(acc, Access{Region: c, Mode: Out})
+		}
+		r.Submit(TaskSpec{
+			Label:    fmt.Sprintf("work%d", i),
+			Flops:    4000 + float64(i)*100,
+			Accesses: acc,
+			EPSocket: NoEPHint,
+		})
+	}
+	if barriers {
+		r.Barrier()
+		r.Submit(TaskSpec{
+			Label:    "final",
+			Flops:    1000,
+			Accesses: []Access{{Region: c, Mode: In}},
+			EPSocket: NoEPHint,
+		})
+	}
+}
+
+func newSnapRT(pol Policy, opts Options) *Runtime {
+	return NewRuntime(machine.New(machine.TwoSocketXeon(), sim.NewEngine()), pol, opts)
+}
+
+// TestSnapshotInstallEquivalence demands that a snapshot installed into a
+// fresh runtime is indistinguishable from rebuilding through Submit: same
+// windows, dependence counts, successor order, and a bit-identical run.
+func TestSnapshotInstallEquivalence(t *testing.T) {
+	for _, barriers := range []bool{false, true} {
+		for _, ws := range []int{0, 3, 5, 2048} {
+			name := fmt.Sprintf("barriers=%v/ws=%d", barriers, ws)
+			opts := Options{WindowSize: ws, Seed: 7, Steal: true, StealThreshold: 2}
+
+			direct := newSnapRT(cyclic{}, opts)
+			buildMixed(direct, barriers)
+
+			proto := newSnapRT(pinned(0), Options{}) // options don't matter for capture
+			buildMixed(proto, barriers)
+			snap, err := Snap(proto)
+			if err != nil {
+				t.Fatalf("%s: Snap: %v", name, err)
+			}
+			installed := newSnapRT(cyclic{}, opts)
+			snap.Install(installed)
+
+			if len(direct.tasks) != len(installed.tasks) {
+				t.Fatalf("%s: task count %d vs %d", name, len(direct.tasks), len(installed.tasks))
+			}
+			for i := range direct.tasks {
+				d, in := direct.tasks[i], installed.tasks[i]
+				if d.Label != in.Label || d.Flops != in.Flops || d.EPSocket != in.EPSocket ||
+					d.Window != in.Window || d.nDeps != in.nDeps || len(d.succs) != len(in.succs) {
+					t.Fatalf("%s: task %d differs: direct {%s f=%v ep=%d w=%d deps=%d succs=%d} installed {%s f=%v ep=%d w=%d deps=%d succs=%d}",
+						name, i, d.Label, d.Flops, d.EPSocket, d.Window, d.nDeps, len(d.succs),
+						in.Label, in.Flops, in.EPSocket, in.Window, in.nDeps, len(in.succs))
+				}
+				for j := range d.succs {
+					if d.succs[j].ID != in.succs[j].ID {
+						t.Fatalf("%s: task %d succ %d: %d vs %d", name, i, j, d.succs[j].ID, in.succs[j].ID)
+					}
+				}
+				if len(d.Accesses) != len(in.Accesses) {
+					t.Fatalf("%s: task %d access count differs", name, i)
+				}
+				for j := range d.Accesses {
+					da, ia := d.Accesses[j], in.Accesses[j]
+					if da.Mode != ia.Mode || da.Region.ID() != ia.Region.ID() ||
+						da.Region.Bytes() != ia.Region.Bytes() || da.Region.Placement() != ia.Region.Placement() {
+						t.Fatalf("%s: task %d access %d differs", name, i, j)
+					}
+				}
+			}
+			if direct.barriers != installed.barriers {
+				t.Fatalf("%s: barriers %d vs %d", name, direct.barriers, installed.barriers)
+			}
+
+			dRes := direct.Run()
+			iRes := installed.Run()
+			if !reflect.DeepEqual(dRes, iRes) {
+				t.Fatalf("%s: run results diverge:\ndirect:    %+v\ninstalled: %+v", name, dRes, iRes)
+			}
+			dSteps := direct.mach.Engine().Steps()
+			iSteps := installed.mach.Engine().Steps()
+			if dSteps != iSteps {
+				t.Fatalf("%s: engine steps %d vs %d", name, dSteps, iSteps)
+			}
+		}
+	}
+}
+
+// TestSnapshotSharedAcrossRuns installs one snapshot into several runtimes
+// and checks they all reproduce the direct run (the Experiment cache's
+// access pattern, minus concurrency — the race detector covers that via the
+// core tests).
+func TestSnapshotSharedAcrossRuns(t *testing.T) {
+	proto := newSnapRT(pinned(0), Options{})
+	buildMixed(proto, false)
+	snap, err := Snap(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{WindowSize: 4, Seed: 3, Steal: true, StealThreshold: 1}
+	direct := newSnapRT(cyclic{}, opts)
+	buildMixed(direct, false)
+	want := direct.Run()
+	for i := 0; i < 3; i++ {
+		r := newSnapRT(cyclic{}, opts)
+		snap.Install(r)
+		if got := r.Run(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("install %d diverged: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+func TestSnapshotGuards(t *testing.T) {
+	proto := newSnapRT(pinned(0), Options{})
+	buildMixed(proto, false)
+	snap, err := Snap(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Tasks() == 0 || snap.Graph().Len() != snap.Tasks() {
+		t.Fatalf("snapshot shape: %d tasks, %d graph nodes", snap.Tasks(), snap.Graph().Len())
+	}
+
+	// Submit after Install must panic: the dependence trackers were never
+	// populated, so silent acceptance would drop edges.
+	r := newSnapRT(pinned(0), Options{})
+	snap.Install(r)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Submit after Install did not panic")
+			}
+		}()
+		r.Submit(TaskSpec{Label: "late"})
+	}()
+
+	// Install into a non-fresh runtime must panic.
+	dirty := newSnapRT(pinned(0), Options{})
+	dirty.Submit(TaskSpec{Label: "x"})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Install into non-fresh runtime did not panic")
+			}
+		}()
+		snap.Install(dirty)
+	}()
+
+	// Snap after Run must fail.
+	ran := newSnapRT(pinned(0), Options{})
+	buildMixed(ran, false)
+	ran.Run()
+	if _, err := Snap(ran); err == nil {
+		t.Error("Snap after Run did not fail")
+	}
+
+	// Regions from a foreign memory manager are rejected.
+	foreign := newSnapRT(pinned(0), Options{})
+	other := memory.NewManager(2)
+	reg := other.Alloc("foreign", 4096, memory.Deferred, 0)
+	foreign.Submit(TaskSpec{Label: "f", Accesses: []Access{{Region: reg, Mode: Out}}})
+	if _, err := Snap(foreign); err == nil {
+		t.Error("Snap with foreign region did not fail")
+	}
+}

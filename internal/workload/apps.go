@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"numadag/internal/apps"
+	"numadag/internal/rt"
+)
+
+// The eight paper benchmarks, re-registered as thin wrappers over
+// internal/apps. With no parameters a wrapper is exactly apps.ByName at the
+// contextual scale; parameters map onto the benchmark's explicit-size
+// constructor ("jacobi?nb=32&tile=1M&iters=4"), so sweeps can scan problem
+// sizes without a bespoke Go program.
+
+func fromApp(a apps.App, err error) (Workload, error) {
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{Build: func(r *rt.Runtime) error { a.Build(r); return nil }}, nil
+}
+
+func stencilFactory(build func(apps.StencilParams) (apps.App, error)) Factory {
+	return func(s Spec, scale apps.Scale, _ uint64) (Workload, error) {
+		if err := s.Only("nb", "tile", "iters"); err != nil {
+			return Workload{}, err
+		}
+		p := apps.StencilPreset(scale)
+		var err error
+		if p.NB, err = s.Int("nb", p.NB); err != nil {
+			return Workload{}, err
+		}
+		if p.TileBytes, err = s.Bytes("tile", p.TileBytes); err != nil {
+			return Workload{}, err
+		}
+		if p.Iters, err = s.Int("iters", p.Iters); err != nil {
+			return Workload{}, err
+		}
+		return fromApp(build(p))
+	}
+}
+
+func denseFactory(build func(apps.DenseParams) (apps.App, error)) Factory {
+	return func(s Spec, scale apps.Scale, _ uint64) (Workload, error) {
+		if err := s.Only("nt", "tile"); err != nil {
+			return Workload{}, err
+		}
+		p := apps.DensePreset(scale)
+		var err error
+		if p.NT, err = s.Int("nt", p.NT); err != nil {
+			return Workload{}, err
+		}
+		if p.TileBytes, err = s.Bytes("tile", p.TileBytes); err != nil {
+			return Workload{}, err
+		}
+		return fromApp(build(p))
+	}
+}
+
+func nstreamFactory() Factory {
+	return func(s Spec, scale apps.Scale, _ uint64) (Workload, error) {
+		if err := s.Only("chunks", "chunk", "iters"); err != nil {
+			return Workload{}, err
+		}
+		p := apps.NStreamPreset(scale)
+		var err error
+		if p.Chunks, err = s.Int("chunks", p.Chunks); err != nil {
+			return Workload{}, err
+		}
+		if p.ChunkBytes, err = s.Bytes("chunk", p.ChunkBytes); err != nil {
+			return Workload{}, err
+		}
+		if p.Iters, err = s.Int("iters", p.Iters); err != nil {
+			return Workload{}, err
+		}
+		return fromApp(apps.NewNStreamWith(p))
+	}
+}
+
+func cgFactory() Factory {
+	return func(s Spec, scale apps.Scale, _ uint64) (Workload, error) {
+		if err := s.Only("blocks", "ablock", "vblock", "iters"); err != nil {
+			return Workload{}, err
+		}
+		p := apps.CGPreset(scale)
+		var err error
+		if p.Blocks, err = s.Int("blocks", p.Blocks); err != nil {
+			return Workload{}, err
+		}
+		if p.ABlockBytes, err = s.Bytes("ablock", p.ABlockBytes); err != nil {
+			return Workload{}, err
+		}
+		if p.VecBlockBytes, err = s.Bytes("vblock", p.VecBlockBytes); err != nil {
+			return Workload{}, err
+		}
+		if p.Iters, err = s.Int("iters", p.Iters); err != nil {
+			return Workload{}, err
+		}
+		return fromApp(apps.NewCGWith(p))
+	}
+}
+
+func inthistFactory() Factory {
+	return func(s Spec, scale apps.Scale, _ uint64) (Workload, error) {
+		if err := s.Only("nb", "imgtile", "hist", "frames"); err != nil {
+			return Workload{}, err
+		}
+		p := apps.IntHistPreset(scale)
+		var err error
+		if p.NB, err = s.Int("nb", p.NB); err != nil {
+			return Workload{}, err
+		}
+		if p.ImgTileBytes, err = s.Bytes("imgtile", p.ImgTileBytes); err != nil {
+			return Workload{}, err
+		}
+		if p.HistBytes, err = s.Bytes("hist", p.HistBytes); err != nil {
+			return Workload{}, err
+		}
+		if p.Frames, err = s.Int("frames", p.Frames); err != nil {
+			return Workload{}, err
+		}
+		return fromApp(apps.NewIntegralHistogramWith(p))
+	}
+}
+
+func init() {
+	reg := func(name, doc string, f Factory) { MustRegister(name, doc, f) }
+	reg("jacobi", "out-of-place 5-point stencil, ping-pong grids [nb, tile, iters]",
+		stencilFactory(apps.NewJacobiWith))
+	reg("red-black", "in-place red-black Gauss-Seidel stencil [nb, tile, iters]",
+		stencilFactory(apps.NewRedBlackWith))
+	reg("gauss-seidel", "in-place wavefront Gauss-Seidel stencil [nb, tile, iters]",
+		stencilFactory(apps.NewGaussSeidelWith))
+	reg("qr", "tiled QR factorization (2D block-cyclic expert layout) [nt, tile]",
+		denseFactory(apps.NewQRWith))
+	reg("syminv", "symmetric matrix inversion, three chained factorizations [nt, tile]",
+		denseFactory(apps.NewSymInvWith))
+	reg("nstream", "memory-bound triad stream over chunked arrays [chunks, chunk, iters]",
+		nstreamFactory())
+	reg("cg", "blocked conjugate gradient iteration [blocks, ablock, vblock, iters]",
+		cgFactory())
+	reg("inthist", "integral histogram over frame tiles [nb, imgtile, hist, frames]",
+		inthistFactory())
+}

@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"numadag/internal/apps"
+	"numadag/internal/graph"
+	"numadag/internal/machine"
+	"numadag/internal/rt"
+)
+
+// graphShape summarizes a DAG for equality checks.
+type graphShape struct {
+	Nodes, Edges              int
+	NodeWeight, EdgeWeight    int64
+	Levels                    int
+	FirstLabel, LastLabel     string
+	Roots, Leaves, CritWeight int64
+}
+
+func shapeOf(t *testing.T, w Workload) graphShape {
+	t.Helper()
+	r, err := w.Instantiate(machine.BullionS16())
+	if err != nil {
+		t.Fatalf("%s: %v", w.Spec, err)
+	}
+	d := r.Graph()
+	_, lv, err := d.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := d.CriticalPathWeight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graphShape{
+		Nodes:      d.Len(),
+		Edges:      d.Edges(),
+		NodeWeight: d.TotalNodeWeight(),
+		EdgeWeight: d.TotalEdgeWeight(),
+		Levels:     lv,
+		FirstLabel: d.Label(0),
+		LastLabel:  d.Label(graph.NodeID(d.Len() - 1)),
+		Roots:      int64(len(d.Roots())),
+		Leaves:     int64(len(d.Leaves())),
+		CritWeight: cp,
+	}
+}
+
+func TestRegistryListsAppsAndGenerators(t *testing.T) {
+	names := Names()
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, n := range apps.Names() {
+		if !have[n] {
+			t.Errorf("app %q not registered as a workload", n)
+		}
+	}
+	for _, n := range []string{"random-layered", "forkjoin", "file"} {
+		if !have[n] {
+			t.Errorf("generator %q not registered", n)
+		}
+		if doc, err := Doc(n); err != nil || doc == "" {
+			t.Errorf("Doc(%q) = %q, %v", n, doc, err)
+		}
+	}
+}
+
+// TestAppWrapperMatchesByName pins the zero-parameter wrappers to the exact
+// graphs apps.ByName builds — the property that keeps Figure 1 and the
+// determinism goldens byte-identical after the workload migration.
+func TestAppWrapperMatchesByName(t *testing.T) {
+	for _, name := range apps.Names() {
+		w, err := New(name, apps.Tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := w.Instantiate(machine.BullionS16())
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := apps.ByName(name, apps.Tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrapped := Workload{Build: func(r *rt.Runtime) error { app.Build(r); return nil }}
+		rr, err := wrapped.Instantiate(machine.BullionS16())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Graph().Len() != rr.Graph().Len() || r.Graph().Edges() != rr.Graph().Edges() ||
+			r.Graph().TotalNodeWeight() != rr.Graph().TotalNodeWeight() ||
+			r.Graph().TotalEdgeWeight() != rr.Graph().TotalEdgeWeight() {
+			t.Errorf("%s: wrapper graph differs from apps.ByName", name)
+		}
+	}
+}
+
+func TestSeedAndScaleLifting(t *testing.T) {
+	w, err := New("random-layered?layers=5&seed=9&scale=tiny", apps.Paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Seed != 9 || w.Scale != apps.Tiny || w.Name != "random-layered" {
+		t.Fatalf("lifting failed: %+v", w)
+	}
+	if w.Spec != "random-layered?layers=5" {
+		t.Fatalf("canonical spec %q retains reserved params", w.Spec)
+	}
+	if w.Key() != "random-layered?layers=5@tiny#9" {
+		t.Fatalf("Key() = %q", w.Key())
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	for _, spec := range []string{
+		"random-layered?layers=6&width=10&seed=4",
+		"forkjoin?depth=4&fanout=2&seed=4",
+	} {
+		w1, err := New(spec, apps.Tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := New(spec, apps.Tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := shapeOf(t, w1), shapeOf(t, w2); !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two builds differ: %+v vs %+v", spec, a, b)
+		}
+	}
+	// A different seed must change the graph (weights at minimum).
+	a, _ := New("random-layered?layers=6&width=10&seed=1", apps.Tiny)
+	b, _ := New("random-layered?layers=6&width=10&seed=2", apps.Tiny)
+	if reflect.DeepEqual(shapeOf(t, a), shapeOf(t, b)) {
+		t.Error("random-layered: seeds 1 and 2 built identical graphs")
+	}
+}
+
+func TestRandomLayeredStructure(t *testing.T) {
+	w, err := New("random-layered?layers=7&width=9&fan=2&seed=3", apps.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := w.Instantiate(machine.BullionS16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := r.Graph()
+	if d.Len() != 7*9 {
+		t.Fatalf("nodes = %d, want %d", d.Len(), 7*9)
+	}
+	_, lv, err := d.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv != 7 {
+		t.Fatalf("levels = %d, want 7", lv)
+	}
+	// Every non-root layer node has at least one predecessor in the
+	// previous layer, so the only roots are layer 0.
+	if roots := len(d.Roots()); roots != 9 {
+		t.Fatalf("roots = %d, want 9", roots)
+	}
+}
+
+func TestForkJoinStructure(t *testing.T) {
+	const depth, fanout = 3, 2
+	w, err := New("forkjoin?depth=3&fanout=2&cv=0", apps.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := w.Instantiate(machine.BullionS16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := r.Graph()
+	// Internal levels hold (fanout^depth-1)/(fanout-1) fork+join pairs,
+	// plus fanout^depth leaves.
+	internal := (1<<depth - 1) // fanout=2
+	want := 2*internal + 1<<depth
+	if d.Len() != want {
+		t.Fatalf("nodes = %d, want %d", d.Len(), want)
+	}
+	if roots := d.Roots(); len(roots) != 1 || d.Label(roots[0]) != "fork" {
+		t.Fatalf("roots = %v", roots)
+	}
+	if leaves := d.Leaves(); len(leaves) != 1 || d.Label(leaves[0]) != "join" {
+		t.Fatalf("leaves = %v", leaves)
+	}
+}
+
+func TestFileImportRoundtrip(t *testing.T) {
+	// Export a generated graph to JSON, import it through the file
+	// workload, and demand an identical node/edge/weight structure.
+	src, err := New("forkjoin?depth=3&fanout=2&seed=5", apps.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := src.Instantiate(machine.BullionS16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rs.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := New("file?path="+path, apps.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := imp.Instantiate(machine.BullionS16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, gi := rs.Graph(), ri.Graph()
+	if gs.Len() != gi.Len() || gs.Edges() != gi.Edges() ||
+		gs.TotalNodeWeight() != gi.TotalNodeWeight() || gs.TotalEdgeWeight() != gi.TotalEdgeWeight() {
+		t.Fatalf("roundtrip differs: %d/%d/%d/%d vs %d/%d/%d/%d",
+			gs.Len(), gs.Edges(), gs.TotalNodeWeight(), gs.TotalEdgeWeight(),
+			gi.Len(), gi.Edges(), gi.TotalNodeWeight(), gi.TotalEdgeWeight())
+	}
+	// Malformed content fails at resolution time.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"nodes": [{"weight": -1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New("file?path="+bad, apps.Tiny); err == nil {
+		t.Error("malformed file accepted")
+	}
+	// A cyclic graph fails validation.
+	cyclic := filepath.Join(t.TempDir(), "cyclic.json")
+	cy := `{"nodes":[{"weight":1},{"weight":1}],"edges":[{"from":0,"to":1,"weight":1},{"from":1,"to":0,"weight":1}]}`
+	if err := os.WriteFile(cyclic, []byte(cy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New("file?path="+cyclic, apps.Tiny); err == nil {
+		t.Error("cyclic file accepted")
+	}
+}

@@ -8,12 +8,15 @@
 //
 //   - run the paper's benchmarks under its scheduling policies (Run,
 //     Figure1),
-//   - declare whole evaluation grids — apps x policies x machines x
+//   - declare whole evaluation grids — workloads x policies x machines x
 //     runtime variants x seeds — and execute them on a shared worker pool
 //     with streaming result sinks (Experiment, TableSink, JSONL/CSV sinks),
 //   - register custom scheduling policies by name so experiments and
 //     commands can refer to them like built-ins (RegisterPolicy, the
 //     Policy interface),
+//   - register custom task-graph generators the same way (RegisterWorkload,
+//     NewWorkload) and resolve workload specs — benchmarks, parameterized
+//     synthetic DAGs, imported files — anywhere an app name is accepted,
 //   - build custom task-based applications on the simulated runtime
 //     (NewEngine/NewMachine/NewRuntime, TaskSpec, Access), and
 //   - use the multilevel graph partitioner directly (Partition, MapOnto).
@@ -45,6 +48,49 @@
 //	}
 //	table.Table().Write(os.Stdout)
 //
+// Quick start — workload specs:
+//
+// Wherever a benchmark name is accepted (Config.App, Experiment.Apps,
+// cmd/rgpsim -app, cmd/dagpart -app, cmd/dagen -spec), a full workload
+// registry spec works: "name?key=value&key=value". The registered
+// generators are the eight paper benchmarks (parameterizable:
+// "jacobi?nb=32&tile=1M&iters=4"), the synthetic families
+// "random-layered?layers=24&width=96&cv=0.4" and "forkjoin?depth=10&fanout=4",
+// and "file?path=graph.json" for DAGs in cmd/dagpart's JSON format. Two
+// keys are reserved on every workload: scale=tiny|small|paper overrides the
+// contextual scale and seed=N drives the generator's own randomness —
+// distinct from the runtime seed, so an N-replicate sweep reuses one graph.
+// Custom generators register like policies:
+//
+//	numadag.MustRegisterWorkload("chain", "linear pipeline [n]",
+//		func(s numadag.WorkloadSpec, scale numadag.Scale, seed uint64) (numadag.Workload, error) {
+//			n, err := s.Int("n", 64)
+//			if err != nil {
+//				return numadag.Workload{}, err
+//			}
+//			return numadag.Workload{Build: func(r *numadag.Runtime) error {
+//				var prev *numadag.Region
+//				for i := 0; i < n; i++ {
+//					reg := r.Mem().Alloc(fmt.Sprintf("d%d", i), 64<<10, numadag.Deferred, 0)
+//					acc := []numadag.Access{{Region: reg, Mode: numadag.Out}}
+//					if prev != nil {
+//						acc = append(acc, numadag.Access{Region: prev, Mode: numadag.In})
+//					}
+//					r.Submit(numadag.TaskSpec{Label: fmt.Sprintf("t%d", i), Flops: 1e4,
+//						Accesses: acc, EPSocket: numadag.NoEPHint})
+//					prev = reg
+//				}
+//				return nil
+//			}}, nil
+//		})
+//	res, _ := numadag.Run(numadag.DefaultConfig("chain?n=128", "RGP+LAS", numadag.ScaleSmall))
+//
+// Experiments memoize each workload's built task graph in a bounded
+// per-experiment cache (one build per workload x machine, shared across
+// policies, variants and replicate seeds); builders must therefore be pure
+// functions of (spec, scale, seed, machine) — set Workload.NoCache to opt
+// out. cmd/dagen lists, describes, generates and exports workloads.
+//
 // Policy names are registry specs: "name?key=value" parameterizes a
 // registered family (e.g. the RGP partitioner ablations). Replicate seeds
 // always derive from the base seed via DeriveSeed — seed + 1000*replicate —
@@ -65,6 +111,7 @@ import (
 	"numadag/internal/rt"
 	"numadag/internal/sim"
 	"numadag/internal/trace"
+	"numadag/internal/workload"
 )
 
 // Simulation substrate.
@@ -255,6 +302,45 @@ func AppByName(name string, s Scale) (App, error) { return apps.ByName(name, s) 
 
 // Apps instantiates all eight benchmarks at the given scale.
 func Apps(s Scale) []App { return apps.All(s) }
+
+// Workloads.
+type (
+	// Workload is a named, seeded task-graph builder resolved from a
+	// registry spec; its Build submits the graph and allocates its regions.
+	Workload = workload.Workload
+	// WorkloadSpec is a parsed workload registry spec (name + parameters).
+	WorkloadSpec = workload.Spec
+	// WorkloadFactory builds a Workload from a parsed spec, contextual
+	// scale and generator seed.
+	WorkloadFactory = workload.Factory
+)
+
+// RegisterWorkload adds a custom task-graph generator to the registry with
+// a one-line doc string; the name is then usable in Config.App,
+// Experiment.Apps and every command's workload flags, including
+// parameterized forms "name?key=value".
+func RegisterWorkload(name, doc string, f WorkloadFactory) error {
+	return workload.Register(name, doc, f)
+}
+
+// MustRegisterWorkload is RegisterWorkload, panicking on error.
+func MustRegisterWorkload(name, doc string, f WorkloadFactory) {
+	workload.MustRegister(name, doc, f)
+}
+
+// NewWorkload resolves a workload spec ("jacobi", "forkjoin?depth=10",
+// "file?path=g.json") at the given contextual scale. The reserved
+// parameters scale= and seed= are handled here for every generator.
+func NewWorkload(spec string, s Scale) (Workload, error) { return workload.New(spec, s) }
+
+// WorkloadNames lists every registered workload name, sorted.
+func WorkloadNames() []string { return workload.Names() }
+
+// WorkloadDoc returns a registered workload's one-line documentation.
+func WorkloadDoc(name string) (string, error) { return workload.Doc(name) }
+
+// ParseWorkloadSpec parses "name?key=value&..." into a WorkloadSpec.
+func ParseWorkloadSpec(s string) (WorkloadSpec, error) { return workload.ParseSpec(s) }
 
 // PolicyNames lists the Figure-1 scheduling configurations.
 func PolicyNames() []string { return append([]string(nil), core.PolicyNames...) }

@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_sim.json}"
 
 {
-  go test -run '^$' -bench 'BenchmarkFigure1|BenchmarkAblationSockets' -benchmem -benchtime 3x .
+  go test -run '^$' -bench 'BenchmarkFigure1|BenchmarkAblationSockets|BenchmarkMultiSeedSweep' -benchmem -benchtime 3x .
   go test -run '^$' -bench 'BenchmarkReallocate|BenchmarkFlowChurn|BenchmarkTimerChurn' -benchmem ./internal/sim/
 } | awk '
 BEGIN { print "["; first = 1 }
