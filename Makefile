@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-sim bench-json vet fmt-check ci clean
+.PHONY: build test test-short test-race bench bench-sim bench-json fuzz-smoke vet fmt-check ci clean
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,11 @@ bench-sim:
 # Machine-readable perf trajectory: writes BENCH_sim.json.
 bench-json:
 	./scripts/bench_sim.sh
+
+# Short coverage-guided fuzz of the FM refiner's invariants and its
+# heap-equivalence contract (the seed corpus also runs in plain `make test`).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzFMRefine -fuzztime=15s ./internal/partition
 
 clean:
 	rm -f BENCH_sim.json *.test *.out *.prof

@@ -26,6 +26,7 @@ import (
 	"numadag/internal/machine"
 	"numadag/internal/partition"
 	"numadag/internal/rt"
+	"numadag/internal/workload"
 )
 
 // runSim executes one configuration and reports simulated time. Alloc
@@ -194,6 +195,49 @@ func BenchmarkPartitionerScaling(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDagpart measures the stand-alone partitioner flow cmd/dagpart
+// performs — workload TDG -> symmetrized graph -> k-way partition and
+// bullion static mapping — on a partitioner-heavy app and a synthetic
+// layered DAG. allocs/op tracks the per-call overhead that remains outside
+// the refiner's reused scratch (subgraph extraction and coarsening).
+func BenchmarkDagpart(b *testing.B) {
+	for _, spec := range []string{"qr", "random-layered?layers=24&width=96"} {
+		w, err := workload.New(spec, apps.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := numadag.NewMachine(machine.BullionS16(), numadag.NewEngine())
+		r := rt.NewRuntime(m, benchPolicy{}, rt.Options{})
+		if err := w.Build(r); err != nil {
+			b.Fatal(err)
+		}
+		pg := partition.FromDAG(r.Graph())
+		for _, mode := range []string{"kway", "map"} {
+			b.Run(fmt.Sprintf("%s/%s", spec, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				arch := partition.NewUniformArch(8)
+				var cut int64
+				for i := 0; i < b.N; i++ {
+					opt := partition.DefaultOptions(8)
+					opt.Seed = uint64(i + 1)
+					var st partition.Stats
+					var err error
+					if mode == "map" {
+						_, st, err = partition.MapOnto(pg, arch, opt)
+					} else {
+						_, st, err = partition.Partition(pg, opt)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					cut = st.EdgeCut
+				}
+				b.ReportMetric(float64(cut), "cut-bytes")
+			})
+		}
 	}
 }
 

@@ -54,6 +54,12 @@ var determinismSynthetics = []string{
 	"random-layered?layers=10&width=24&fan=2&seed=7",
 	"forkjoin?depth=5&fanout=3&seed=7",
 	"file?path=testdata/dags/diamond.json",
+	// Partitioner-stressing cells: sized past the 2048-task window so RGP
+	// policies run deep multilevel FM passes (many coarsening levels, full
+	// refinement at each). These pin the partitioner's move sequences
+	// independently of the eight paper apps, whose windows are smaller.
+	"random-layered?layers=24&width=96&cv=0.4&seed=11",
+	"forkjoin?depth=9&fanout=2&seed=11",
 }
 
 func runCell(t testing.TB, spec, polName string, seed uint64) goldenEntry {

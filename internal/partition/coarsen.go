@@ -45,10 +45,18 @@ type level struct {
 // v to a part; vertices pinned to different parts are never matched
 // together (their edge cannot be hidden — it may be cut). Returns nil when
 // the matching would not shrink the graph meaningfully (fewer than 10%
-// contractions), signalling the driver to stop coarsening.
-func coarsen(g *Graph, fixed []int32, kind MatchingKind, rng *xrand.Rand) *level {
+// contractions), signalling the driver to stop coarsening. rf supplies
+// transient scratch (the match array and coarse degree bounds); the level's
+// persistent state (cmap, the coarse graph) is allocated fresh.
+func coarsen(g *Graph, fixed []int32, kind MatchingKind, rng *xrand.Rand, rf *refiner) *level {
+	if rf == nil {
+		rf = &refiner{}
+	}
 	n := g.Len()
-	match := make([]int32, n)
+	if cap(rf.match) < n {
+		rf.match = make([]int32, n)
+	}
+	match := rf.match[:n]
 	for i := range match {
 		match[i] = -1
 	}
@@ -120,14 +128,38 @@ func coarsen(g *Graph, fixed []int32, kind MatchingKind, rng *xrand.Rand) *level
 			coarseFixed[cv] = fixed[v]
 		}
 	}
+	// Pre-cap each coarse adjacency list at the sum of its members' fine
+	// degrees (an upper bound on its distinct coarse neighbors) and cut all
+	// lists from one slab, so AddEdge's appends below never reallocate.
+	// AddEdge itself is unchanged: its in-order dedup scan is what keeps
+	// coarse adjacency order — and every downstream tie-break — identical.
+	if cap(rf.subDeg) < int(next) {
+		rf.subDeg = make([]int32, next)
+	}
+	cnt := rf.subDeg[:next]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	total := 0
+	for v := 0; v < n; v++ {
+		cnt[cmap[v]] += int32(len(g.adj[v]))
+		total += len(g.adj[v])
+	}
+	slab := make([]neighbor, total)
+	off := 0
+	for cv := range coarse.adj {
+		coarse.adj[cv] = slab[off : off : off+int(cnt[cv])]
+		off += int(cnt[cv])
+	}
 	for v := 0; v < n; v++ {
 		cv := cmap[v]
-		g.Neighbors(v, func(u int, w int64) {
+		for _, nb := range g.adj[v] {
+			u := int(nb.to)
 			cu := cmap[u]
 			if cu != cv && v < u {
-				coarse.AddEdge(int(cv), int(cu), w)
+				coarse.AddEdge(int(cv), int(cu), nb.w)
 			}
-		})
+		}
 	}
 	return &level{fine: g, coarse: coarse, cmap: cmap, coarseFixed: coarseFixed}
 }

@@ -1,0 +1,333 @@
+package partition
+
+import (
+	"math/bits"
+	"slices"
+)
+
+// gainBucket is an indexed Fiduccia–Mattheyses gain-bucket structure, the
+// replacement for the container/heap priority queue the refiner used before.
+//
+// The classic FM bucket array assumes small integral gains and spends one
+// bucket per gain value. Our edge weights are byte counts (tile sizes, tens
+// of KiB and up), so the raw gain range of a pass can span millions of units
+// over a few hundred vertices; a bucket per unit would be absurdly sparse.
+// Instead, buckets quantize: gains map to buckets by a power-of-two step
+// chosen per pass so the array stays at most a small multiple of the vertex
+// count (bucket = (gain + off) >> shift, off = the pass's max vertex
+// degree-weight bound, so the mapping is monotone in gain). Exact gains are
+// kept per vertex in gain[]; quantization therefore never changes *which*
+// vertex is extracted, only how many candidates share its bucket: the true
+// maximum always lives in the highest non-empty bucket, and extraction
+// resolves the exact (max gain, then lowest vertex id) order inside that
+// one bucket. This keeps the move order — and hence every determinism
+// golden — bit-identical to a max-heap keyed (gain desc, id asc).
+//
+// Buckets are intrusive doubly-linked lists over vertex ids (next/prev),
+// with pos[] recording each vertex's bucket (-1 = absent), so insert,
+// remove, and the neighbor-gain update that moves a vertex between buckets
+// are all O(1) list work with no per-operation allocation and no stale
+// entries. A max-gain cursor decays monotonically between insertions: it
+// only moves down while scanning for the next non-empty bucket, and is
+// bumped up when an insertion lands above it.
+//
+// Tile-sized weights produce few distinct gain values, so the top bucket is
+// routinely hundreds of vertices deep and extraction cannot afford to
+// rescan it every time. The structure therefore keeps a drain cache for the
+// bucket currently being consumed: the first extraction sorts that bucket's
+// members into exact extraction order once, later extractions pop in O(1),
+// and mutations touching the cached bucket splice in or out of the sorted
+// order instead of invalidating it.
+//
+// All slices are grow-only scratch owned by a refiner and reused across
+// passes and across partitioner calls: steady state performs zero
+// allocations.
+type gainBucket struct {
+	shift  uint    // log2 of the gain quantum one bucket spans
+	off    int64   // gain offset: bucket index = (gain + off) >> shift
+	nb     int     // buckets in use this pass
+	head   []int32 // head[b] = first vertex of bucket b's list, -1 if empty
+	next   []int32 // next[v] = successor of v in its bucket list, -1 at tail
+	prev   []int32 // prev[v] = predecessor of v, -1 at head
+	pos    []int32 // pos[v] = bucket holding v, -1 when absent
+	gain   []int64 // gain[v] = exact current gain (valid even while absent)
+	cursor int     // highest bucket that may be non-empty
+	n      int     // live vertex count
+
+	// Two-level occupancy bitmap over buckets: occ has one bit per bucket,
+	// occSum one bit per occ word. Quantized gains leave most buckets empty
+	// and a single neighbor update can raise the cursor thousands of
+	// buckets; the bitmap turns the subsequent decay into a pair of word
+	// scans instead of a bucket-by-bucket walk (the decay stays monotone —
+	// it just jumps over the provably empty stretch).
+	occ    []uint64
+	occSum []uint64
+
+	drainB   int32   // bucket the drain cache describes, -1 = none
+	drainIds []int32 // remaining members of drainB in (gain desc, id asc) order
+	drainIdx int     // next cache entry to pop
+}
+
+// bucketCap bounds the bucket array relative to the vertex count: enough
+// buckets that byte-scale gains rarely collide, few enough that clearing
+// and cursor decay stay proportional to the graph, not the weight range.
+func bucketCap(n int) int64 {
+	c := int64(4 * n)
+	if c < 256 {
+		c = 256
+	}
+	return c
+}
+
+// reset prepares the structure for a pass over n vertices whose gains are
+// bounded by ±maxAdj (the pass's max vertex degree-weight). Previous
+// contents are discarded; backing arrays are reused.
+//
+// Emptiness is self-restoring: a fully drained pass leaves every head at
+// -1, every occupancy bit clear, and every pos at -1, and fmRefine always
+// drains to empty. reset therefore only pays its clearing loops when the
+// structure is dirty (a caller abandoned it mid-drain, e.g. on a panic
+// unwinding into the refiner pool) — the steady-state cost per pass is a
+// handful of field writes, independent of n and the bucket count.
+func (gb *gainBucket) reset(n int, maxAdj int64) {
+	gb.off = maxAdj
+	gb.shift = 0
+	cap := bucketCap(n)
+	for (2*maxAdj)>>gb.shift >= cap {
+		gb.shift++
+	}
+	gb.nb = int((2*maxAdj)>>gb.shift) + 1
+	if len(gb.head) < gb.nb {
+		gb.head = make([]int32, gb.nb)
+		for b := range gb.head {
+			gb.head[b] = -1
+		}
+	}
+	if len(gb.next) < n {
+		gb.next = make([]int32, n)
+		gb.prev = make([]int32, n)
+		gb.pos = make([]int32, n)
+		gb.gain = make([]int64, n)
+		for v := range gb.pos {
+			gb.pos[v] = -1
+		}
+	}
+	nw := (gb.nb + 63) / 64
+	if len(gb.occ) < nw {
+		gb.occ = make([]uint64, nw)
+		gb.occSum = make([]uint64, (nw+63)/64)
+	}
+	if gb.n != 0 { // dirty: restore the empty-state invariant explicitly
+		for b := range gb.head {
+			gb.head[b] = -1
+		}
+		for w := range gb.occ {
+			gb.occ[w] = 0
+		}
+		for s := range gb.occSum {
+			gb.occSum[s] = 0
+		}
+		for v := range gb.pos {
+			gb.pos[v] = -1
+		}
+	}
+	gb.cursor = -1
+	gb.n = 0
+	gb.drainB = -1
+}
+
+func (gb *gainBucket) bucketOf(gain int64) int32 {
+	return int32((gain + gb.off) >> gb.shift)
+}
+
+// before reports whether vertex a extracts before vertex c: higher exact
+// gain first, ties to the lower vertex id.
+func (gb *gainBucket) before(a, c int32) bool {
+	if ga, gc := gb.gain[a], gb.gain[c]; ga != gc {
+		return ga > gc
+	}
+	return a < c
+}
+
+// link pushes v onto bucket b's list. List order is irrelevant: extraction
+// order comes from the scan/drain-cache paths.
+func (gb *gainBucket) link(v, b int32) {
+	gb.pos[v] = b
+	gb.prev[v] = -1
+	gb.next[v] = gb.head[b]
+	if gb.head[b] != -1 {
+		gb.prev[gb.head[b]] = v
+	} else {
+		gb.occ[b>>6] |= 1 << uint(b&63)
+		gb.occSum[b>>12] |= 1 << uint((b>>6)&63)
+	}
+	gb.head[b] = v
+}
+
+// unlink removes v from its bucket's list.
+func (gb *gainBucket) unlink(v int32) {
+	b := gb.pos[v]
+	if gb.prev[v] != -1 {
+		gb.next[gb.prev[v]] = gb.next[v]
+	} else {
+		gb.head[b] = gb.next[v]
+	}
+	if gb.next[v] != -1 {
+		gb.prev[gb.next[v]] = gb.prev[v]
+	}
+	if gb.head[b] == -1 {
+		gb.occ[b>>6] &^= 1 << uint(b&63)
+		if gb.occ[b>>6] == 0 {
+			gb.occSum[b>>12] &^= 1 << uint((b>>6)&63)
+		}
+	}
+	gb.pos[v] = -1
+}
+
+// highestOcc returns the highest non-empty bucket at or below from.
+// Callers guarantee one exists (n > 0).
+func (gb *gainBucket) highestOcc(from int) int {
+	w := from >> 6
+	if word := gb.occ[w] & (^uint64(0) >> (63 - uint(from&63))); word != 0 {
+		return w<<6 + bits.Len64(word) - 1
+	}
+	s := w >> 6
+	sword := gb.occSum[s] & (1<<uint(w&63) - 1)
+	for sword == 0 {
+		s--
+		sword = gb.occSum[s]
+	}
+	w = s<<6 + bits.Len64(sword) - 1
+	return w<<6 + bits.Len64(gb.occ[w]) - 1
+}
+
+// drainSearch returns where v sits (or belongs) in the remaining cached
+// order, as an offset from drainIdx. Exactness of gain[] makes the order
+// total, so binary search is safe.
+func (gb *gainBucket) drainSearch(v int32) int {
+	rem := gb.drainIds[gb.drainIdx:]
+	lo, hi := 0, len(rem)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if gb.before(rem[mid], v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// drainInsert splices v into the cached order.
+func (gb *gainBucket) drainInsert(v int32) {
+	at := gb.drainIdx + gb.drainSearch(v)
+	gb.drainIds = slices.Insert(gb.drainIds, at, v)
+}
+
+// drainRemove splices v out of the cached order. v must be present.
+func (gb *gainBucket) drainRemove(v int32) {
+	at := gb.drainIdx + gb.drainSearch(v)
+	gb.drainIds = slices.Delete(gb.drainIds, at, at+1)
+}
+
+// insert adds an absent vertex with the given exact gain.
+func (gb *gainBucket) insert(v int32, gain int64) {
+	b := gb.bucketOf(gain)
+	gb.gain[v] = gain
+	gb.link(v, b)
+	if int(b) > gb.cursor {
+		gb.cursor = int(b)
+	}
+	if b == gb.drainB {
+		gb.drainInsert(v)
+	}
+	gb.n++
+}
+
+// remove unlinks a present vertex. Its gain[] entry stays valid so later
+// updates can still apply deltas to it.
+func (gb *gainBucket) remove(v int32) {
+	if gb.pos[v] == gb.drainB {
+		gb.drainRemove(v)
+	}
+	gb.unlink(v)
+	gb.n--
+}
+
+// update sets v's exact gain, relinking it into the right bucket. An absent
+// vertex is (re)inserted — this is exactly the heap refiner's behavior of
+// re-pushing a vertex on every neighbor-gain change, which also revived
+// vertices previously dropped by a failed balance check.
+func (gb *gainBucket) update(v int32, gain int64) {
+	b := gb.pos[v]
+	if b == -1 {
+		gb.insert(v, gain)
+		return
+	}
+	if b == gb.bucketOf(gain) && b != gb.drainB {
+		gb.gain[v] = gain // same bucket, no cached order to maintain
+		return
+	}
+	gb.remove(v)
+	gb.insert(v, gain)
+}
+
+// drainThreshold is the bucket depth above which extraction switches from
+// a direct scan to the sorted drain cache. Scans of shallow buckets leave
+// the cache alone, so a deep bucket's order survives the constant brief
+// excursions into small buckets freshly raised above the cursor.
+const drainThreshold = 32
+
+// extractMax removes and returns the vertex with the maximum gain, ties
+// broken toward the lowest vertex id — the determinism contract shared with
+// the reference heap. The cursor first decays to the highest non-empty
+// bucket. Shallow buckets resolve the exact order by scanning; deep buckets
+// use the drain cache.
+func (gb *gainBucket) extractMax() (int32, bool) {
+	if gb.n == 0 {
+		return -1, false
+	}
+	if gb.head[gb.cursor] == -1 {
+		gb.cursor = gb.highestOcc(gb.cursor)
+	}
+	b := int32(gb.cursor)
+	if b != gb.drainB {
+		// Scan, bailing to the cache path once the bucket proves deep.
+		best := gb.head[b]
+		depth := 1
+		for v := gb.next[best]; v != -1; v = gb.next[v] {
+			if gb.before(v, best) {
+				best = v
+			}
+			if depth++; depth > drainThreshold {
+				best = -1
+				break
+			}
+		}
+		if best != -1 {
+			gb.unlink(best)
+			gb.n--
+			return best, true
+		}
+		gb.drainIds = gb.drainIds[:0]
+		for v := gb.head[b]; v != -1; v = gb.next[v] {
+			gb.drainIds = append(gb.drainIds, v)
+		}
+		slices.SortFunc(gb.drainIds, func(a, c int32) int {
+			if gb.before(a, c) {
+				return -1
+			}
+			return 1
+		})
+		gb.drainB = b
+		gb.drainIdx = 0
+	}
+	best := gb.drainIds[gb.drainIdx]
+	gb.drainIdx++
+	gb.unlink(best)
+	gb.n--
+	if gb.drainIdx == len(gb.drainIds) {
+		gb.drainB = -1 // fully drained; next extraction rebuilds elsewhere
+	}
+	return best, true
+}

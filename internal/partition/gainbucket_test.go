@@ -1,0 +1,190 @@
+package partition
+
+// White-box tests for the gainBucket structure itself: extraction order,
+// O(1) relink behavior, cursor monotonicity, and scratch reuse. The
+// refiner-level contract is covered by the heap equivalence suite.
+
+import (
+	"sort"
+	"testing"
+
+	"numadag/internal/xrand"
+)
+
+func TestGainBucketExtractOrder(t *testing.T) {
+	// Gains spread over a byte-scale range plus deliberate ties: extraction
+	// must yield gain-descending order, ties by ascending vertex id.
+	gains := []int64{-1 << 20, 3 << 16, 0, 3 << 16, 5, -7, 0, 1 << 20, 5, -1 << 20}
+	gb := &gainBucket{}
+	var maxAdj int64 = 1 << 20
+	gb.reset(len(gains), maxAdj)
+	for v, g := range gains {
+		gb.insert(int32(v), g)
+	}
+	type vg struct {
+		v int32
+		g int64
+	}
+	want := make([]vg, 0, len(gains))
+	for v, g := range gains {
+		want = append(want, vg{int32(v), g})
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].g != want[j].g {
+			return want[i].g > want[j].g
+		}
+		return want[i].v < want[j].v
+	})
+	for i, w := range want {
+		v, ok := gb.extractMax()
+		if !ok {
+			t.Fatalf("structure empty after %d extractions, want %d", i, len(want))
+		}
+		if v != w.v || gb.gain[v] != w.g {
+			t.Fatalf("extraction %d: got vertex %d gain %d, want vertex %d gain %d", i, v, gb.gain[v], w.v, w.g)
+		}
+	}
+	if _, ok := gb.extractMax(); ok {
+		t.Fatal("extraction from an empty structure succeeded")
+	}
+}
+
+func TestGainBucketUpdateRelinks(t *testing.T) {
+	gb := &gainBucket{}
+	gb.reset(4, 100)
+	gb.insert(0, 10)
+	gb.insert(1, 20)
+	gb.insert(2, -30)
+	// Move vertex 2 to the top, push vertex 1 to the bottom.
+	gb.update(2, 90)
+	gb.update(1, -90)
+	// Update of an absent vertex must (re)insert it — the heap refiner's
+	// re-push discipline for balance-dropped candidates.
+	if v, _ := gb.extractMax(); v != 2 {
+		t.Fatalf("top after updates = %d, want 2", v)
+	}
+	gb.update(2, 50)
+	order := []int32{2, 0, 1}
+	for i, want := range order {
+		v, ok := gb.extractMax()
+		if !ok || v != want {
+			t.Fatalf("extraction %d: got %d (ok=%v), want %d", i, v, ok, want)
+		}
+	}
+}
+
+func TestGainBucketRemoveUnlinks(t *testing.T) {
+	gb := &gainBucket{}
+	gb.reset(5, 10)
+	for v := int32(0); v < 5; v++ {
+		gb.insert(v, int64(v)) // all in nearby buckets, some shared
+	}
+	gb.remove(2)
+	gb.remove(4) // head of its bucket
+	seen := map[int32]bool{}
+	for {
+		v, ok := gb.extractMax()
+		if !ok {
+			break
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 || seen[2] || seen[4] {
+		t.Fatalf("extracted %v after removing 2 and 4", seen)
+	}
+}
+
+func TestGainBucketCursorDecaysMonotonically(t *testing.T) {
+	gb := &gainBucket{}
+	gb.reset(3, 1<<20)
+	gb.insert(0, 1<<20)
+	gb.insert(1, -1<<20)
+	if v, _ := gb.extractMax(); v != 0 {
+		t.Fatal("max not extracted first")
+	}
+	low := gb.cursor
+	// Extraction of the bottom vertex walks the cursor down...
+	if v, _ := gb.extractMax(); v != 1 {
+		t.Fatal("remaining vertex not extracted")
+	}
+	if gb.cursor > low {
+		t.Fatalf("cursor rose without an insertion: %d -> %d", low, gb.cursor)
+	}
+	// ...and only an insertion may raise it again.
+	gb.insert(2, 1<<19)
+	if v, _ := gb.extractMax(); v != 2 {
+		t.Fatal("reinserted vertex not found above the decayed cursor")
+	}
+}
+
+func TestGainBucketQuantizationKeepsExactOrder(t *testing.T) {
+	// Force heavy quantization: a range far wider than the bucket budget
+	// puts many distinct gains in one bucket; extraction must still resolve
+	// the exact order from gain[].
+	n := 32
+	gb := &gainBucket{}
+	var maxAdj int64 = 1 << 40
+	gb.reset(n, maxAdj)
+	if gb.nb > int(bucketCap(n)) {
+		t.Fatalf("bucket array has %d entries, cap is %d", gb.nb, bucketCap(n))
+	}
+	rng := xrand.New(9)
+	gains := make([]int64, n)
+	for v := 0; v < n; v++ {
+		gains[v] = int64(rng.Intn(1000)) - 500 // tiny spread => one shared bucket
+		gb.insert(int32(v), gains[v])
+	}
+	var prevGain int64 = 1 << 41
+	prevV := int32(-1)
+	for i := 0; i < n; i++ {
+		v, ok := gb.extractMax()
+		if !ok {
+			t.Fatalf("empty after %d extractions", i)
+		}
+		g := gains[v]
+		if g > prevGain || (g == prevGain && v < prevV) {
+			t.Fatalf("extraction %d out of order: (%d, %d) after (%d, %d)", i, g, v, prevGain, prevV)
+		}
+		prevGain, prevV = g, v
+	}
+}
+
+func TestGainBucketResetReuses(t *testing.T) {
+	gb := &gainBucket{}
+	gb.reset(100, 1<<30)
+	for v := int32(0); v < 100; v++ {
+		gb.insert(v, int64(v))
+	}
+	head, next := &gb.head[0], &gb.next[0]
+	// A smaller follow-up pass must reuse the same backing arrays and see
+	// none of the previous contents.
+	gb.reset(10, 1<<10)
+	if &gb.head[0] != head || &gb.next[0] != next {
+		t.Fatal("reset reallocated scratch that was large enough")
+	}
+	if gb.n != 0 {
+		t.Fatalf("reset left %d live vertices", gb.n)
+	}
+	if _, ok := gb.extractMax(); ok {
+		t.Fatal("reset structure still yields vertices")
+	}
+	gb.insert(3, -5)
+	if v, ok := gb.extractMax(); !ok || v != 3 {
+		t.Fatalf("post-reset insert/extract got (%d, %v)", v, ok)
+	}
+}
+
+func TestGainBucketZeroGainRange(t *testing.T) {
+	// An edgeless pass has maxAdj 0 and every gain 0: everything lands in
+	// the single bucket and extraction degrades to id order.
+	gb := &gainBucket{}
+	gb.reset(4, 0)
+	for v := int32(3); v >= 0; v-- {
+		gb.insert(v, 0)
+	}
+	for want := int32(0); want < 4; want++ {
+		if v, ok := gb.extractMax(); !ok || v != want {
+			t.Fatalf("got (%d, %v), want vertex %d", v, ok, want)
+		}
+	}
+}

@@ -35,7 +35,12 @@ func (k InitialKind) String() string {
 // fraction t0 (0 < t0 < 1). fixed[v] in {-1,0,1} pins vertices. The result
 // always respects fixed assignments; weight targets are best-effort (the
 // refinement pass enforces balance within tolerance afterwards).
-func initialBisect(g *Graph, fixed []int32, t0 float64, kind InitialKind, rng *xrand.Rand) []int32 {
+// The rf scratch supplies the working arrays (the returned partition is the
+// only per-call allocation).
+func initialBisect(g *Graph, fixed []int32, t0 float64, kind InitialKind, rng *xrand.Rand, rf *refiner) []int32 {
+	if rf == nil {
+		rf = &refiner{}
+	}
 	n := g.Len()
 	part := make([]int32, n)
 	for v := range part {
@@ -45,7 +50,10 @@ func initialBisect(g *Graph, fixed []int32, t0 float64, kind InitialKind, rng *x
 	target0 := int64(float64(total) * t0)
 	var w0 int64
 	// Pinned vertices first.
-	free := make([]int, 0, n)
+	if cap(rf.initFree) < n {
+		rf.initFree = make([]int, 0, n)
+	}
+	free := rf.initFree[:0]
 	for v := 0; v < n; v++ {
 		if fixed != nil && fixed[v] >= 0 {
 			part[v] = fixed[v]
@@ -67,9 +75,16 @@ func initialBisect(g *Graph, fixed []int32, t0 float64, kind InitialKind, rng *x
 		return part
 	}
 	// Greedy graph growing of side 0.
-	inFront := make([]bool, n)
-	gain := make([]int64, n) // connectivity of frontier vertices to side 0
-	var frontier []int
+	if cap(rf.initFront) < n {
+		rf.initFront = make([]bool, n)
+		rf.initGain = make([]int64, n)
+	}
+	inFront, gain := rf.initFront[:n], rf.initGain[:n]
+	for v := 0; v < n; v++ {
+		inFront[v] = false
+		gain[v] = 0 // connectivity of frontier vertices to side 0
+	}
+	frontier := rf.initFrontier[:0]
 	addFrontier := func(v int) {
 		if !inFront[v] && part[v] == 1 && (fixed == nil || fixed[v] < 0) {
 			inFront[v] = true
@@ -137,5 +152,6 @@ func initialBisect(g *Graph, fixed []int32, t0 float64, kind InitialKind, rng *x
 		inFront[best] = false
 		grow(best)
 	}
+	rf.initFrontier = frontier[:0] // retain grown capacity
 	return part
 }

@@ -12,7 +12,7 @@ import (
 func TestCoarsenPreservesTotals(t *testing.T) {
 	g := grid2D(10, 3)
 	rng := xrand.New(1)
-	l := coarsen(g, nil, HeavyEdgeMatching, rng)
+	l := coarsen(g, nil, HeavyEdgeMatching, rng, nil)
 	if l == nil {
 		t.Fatal("coarsening refused a 100-vertex grid")
 	}
@@ -47,7 +47,7 @@ func TestCoarsenHeavyEdgePrefersHeavy(t *testing.T) {
 	merged := 0
 	const seeds = 96
 	for seed := uint64(1); seed <= seeds; seed++ {
-		l := coarsen(g, nil, HeavyEdgeMatching, xrand.New(seed))
+		l := coarsen(g, nil, HeavyEdgeMatching, xrand.New(seed), nil)
 		if l == nil {
 			continue
 		}
@@ -69,7 +69,7 @@ func TestCoarsenRespectsFixedConflict(t *testing.T) {
 	g.AddEdge(0, 1, 1000)
 	fixed := []int32{0, 1}
 	for seed := uint64(1); seed <= 8; seed++ {
-		l := coarsen(g, fixed, HeavyEdgeMatching, xrand.New(seed))
+		l := coarsen(g, fixed, HeavyEdgeMatching, xrand.New(seed), nil)
 		if l == nil {
 			continue // no contraction possible: acceptable
 		}
@@ -90,14 +90,14 @@ func TestCoarsenStopsOnSparseMatching(t *testing.T) {
 	for v := 0; v < 20; v++ {
 		iso.SetVertexWeight(v, 1)
 	}
-	if l := coarsen(iso, nil, HeavyEdgeMatching, xrand.New(1)); l != nil {
+	if l := coarsen(iso, nil, HeavyEdgeMatching, xrand.New(1), nil); l != nil {
 		t.Fatal("edgeless graph coarsened")
 	}
 }
 
 func TestProjectRoundTrips(t *testing.T) {
 	g := grid2D(8, 1)
-	l := coarsen(g, nil, HeavyEdgeMatching, xrand.New(3))
+	l := coarsen(g, nil, HeavyEdgeMatching, xrand.New(3), nil)
 	if l == nil {
 		t.Fatal("no coarsening")
 	}
@@ -119,7 +119,7 @@ func TestProjectRoundTrips(t *testing.T) {
 func TestInitialBisectRespectsFraction(t *testing.T) {
 	g := grid2D(10, 1)
 	for _, frac := range []float64{0.25, 0.5, 0.75} {
-		part := initialBisect(g, nil, frac, GreedyGrowing, xrand.New(7))
+		part := initialBisect(g, nil, frac, GreedyGrowing, xrand.New(7), nil)
 		var w0 int64
 		for v, p := range part {
 			if p == 0 {
@@ -144,7 +144,7 @@ func TestInitialBisectGrowsConnected(t *testing.T) {
 			g.AddEdge(v, v+1, 10)
 		}
 	}
-	part := initialBisect(g, nil, 0.5, GreedyGrowing, xrand.New(5))
+	part := initialBisect(g, nil, 0.5, GreedyGrowing, xrand.New(5), nil)
 	transitions := 0
 	for v := 1; v < n; v++ {
 		if part[v] != part[v-1] {
@@ -165,7 +165,7 @@ func TestInitialBisectHonorsFixed(t *testing.T) {
 	fixed[0] = 0
 	fixed[35] = 1
 	for _, kind := range []InitialKind{GreedyGrowing, RandomInit} {
-		part := initialBisect(g, fixed, 0.5, kind, xrand.New(9))
+		part := initialBisect(g, fixed, 0.5, kind, xrand.New(9), nil)
 		if part[0] != 0 || part[35] != 1 {
 			t.Fatalf("%v ignored fixed vertices", kind)
 		}
@@ -181,7 +181,7 @@ func TestFMRefineReducesCut(t *testing.T) {
 	}
 	before := EdgeCut(g, part)
 	total := g.TotalVertexWeight()
-	fmRefine(g, part, nil, total*45/100, total*55/100, 10)
+	fmRefine(g, part, nil, total*45/100, total*55/100, 10, nil)
 	after := EdgeCut(g, part)
 	if after >= before {
 		t.Fatalf("FM did not improve random bisection: %d -> %d", before, after)
@@ -208,7 +208,7 @@ func TestFMRefineLocksFixed(t *testing.T) {
 	fixed[7] = 1
 	part[7] = 1
 	total := g.TotalVertexWeight()
-	fmRefine(g, part, fixed, total*40/100, total*60/100, 8)
+	fmRefine(g, part, fixed, total*40/100, total*60/100, 8, nil)
 	if part[7] != 1 {
 		t.Fatal("FM moved a fixed vertex")
 	}
@@ -216,7 +216,7 @@ func TestFMRefineLocksFixed(t *testing.T) {
 
 func TestFMRefineEmptyGraph(t *testing.T) {
 	g := NewGraph(0)
-	fmRefine(g, nil, nil, 0, 0, 4) // must not panic
+	fmRefine(g, nil, nil, 0, 0, 4, nil) // must not panic
 }
 
 func TestMatchingKindStrings(t *testing.T) {
@@ -236,7 +236,7 @@ func TestMatchingKindStrings(t *testing.T) {
 
 func TestRandomMatchingCoarsens(t *testing.T) {
 	g := grid2D(10, 1)
-	l := coarsen(g, nil, RandomMatching, xrand.New(2))
+	l := coarsen(g, nil, RandomMatching, xrand.New(2), nil)
 	if l == nil {
 		t.Fatal("random matching failed to coarsen a grid")
 	}

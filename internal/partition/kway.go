@@ -4,20 +4,24 @@ package partition
 // level by level and cannot exploit moves between parts that were split
 // apart early in the recursion; a greedy k-way scan afterwards recovers
 // most of that loss (the classic KL-style post-pass SCOTCH and METIS both
-// apply).
+// apply). Like fmRefine, these passes draw their working arrays from the
+// per-call refiner scratch.
 
 // refineKWay runs greedy k-way refinement on a plain edge-cut partition:
 // each pass scans vertices in index order and moves a boundary vertex to
 // the part with the largest positive cut gain, provided the move keeps the
 // destination inside its balance envelope. It mutates part in place and
 // returns the total gain.
-func refineKWay(g *Graph, part []int32, fixed []int32, k int, targets []float64, imbalance float64, passes int) int64 {
+func refineKWay(g *Graph, part []int32, fixed []int32, k int, targets []float64, imbalance float64, passes int, rf *refiner) int64 {
 	if k <= 1 || g.Len() == 0 {
 		return 0
 	}
-	maxW := partCaps(g, k, targets, imbalance)
-	weights := PartWeights(g, part, k)
-	conn := make([]int64, k)
+	if rf == nil {
+		rf = &refiner{}
+	}
+	maxW := partCaps(g, k, targets, imbalance, rf)
+	weights := kwayWeights(g, part, k, rf)
+	conn := kwayConn(k, rf)
 	var totalGain int64
 	for pass := 0; pass < passes; pass++ {
 		passGain := kwayPass(g, part, fixed, k, weights, maxW, conn, nil)
@@ -33,14 +37,17 @@ func refineKWay(g *Graph, part []int32, fixed []int32, k int, targets []float64,
 // vertex's affinity to socket s is the negated distance-weighted cost of
 // its edges if it lived on s, so moves reduce CommCost rather than plain
 // edge cut.
-func refineKWayMapped(g *Graph, part []int32, fixed []int32, arch *Arch, imbalance float64, passes int) int64 {
+func refineKWayMapped(g *Graph, part []int32, fixed []int32, arch *Arch, imbalance float64, passes int, rf *refiner) int64 {
 	k := arch.Sockets()
 	if k <= 1 || g.Len() == 0 {
 		return 0
 	}
-	maxW := partCaps(g, k, archTargets(arch), imbalance)
-	weights := PartWeights(g, part, k)
-	conn := make([]int64, k)
+	if rf == nil {
+		rf = &refiner{}
+	}
+	maxW := partCaps(g, k, archTargets(arch), imbalance, rf)
+	weights := kwayWeights(g, part, k, rf)
+	conn := kwayConn(k, rf)
 	var totalGain int64
 	for pass := 0; pass < passes; pass++ {
 		passGain := kwayPass(g, part, fixed, k, weights, maxW, conn, arch.Dist)
@@ -52,10 +59,38 @@ func refineKWayMapped(g *Graph, part []int32, fixed []int32, arch *Arch, imbalan
 	return totalGain
 }
 
+// kwayWeights fills the scratch per-part weight array (like PartWeights,
+// without allocating).
+func kwayWeights(g *Graph, part []int32, k int, rf *refiner) []int64 {
+	if cap(rf.weights) < k {
+		rf.weights = make([]int64, k)
+	}
+	w := rf.weights[:k]
+	for p := range w {
+		w[p] = 0
+	}
+	for v, p := range part {
+		w[p] += g.nw[v]
+	}
+	return w
+}
+
+// kwayConn returns the per-part connectivity scratch. Contents are
+// unspecified: kwayPass zeroes it per vertex before use.
+func kwayConn(k int, rf *refiner) []int64 {
+	if cap(rf.conn) < k {
+		rf.conn = make([]int64, k)
+	}
+	return rf.conn[:k]
+}
+
 // partCaps derives each part's maximum weight from targets and tolerance.
-func partCaps(g *Graph, k int, targets []float64, imbalance float64) []int64 {
+func partCaps(g *Graph, k int, targets []float64, imbalance float64, rf *refiner) []int64 {
 	total := g.TotalVertexWeight()
-	maxW := make([]int64, k)
+	if cap(rf.maxW) < k {
+		rf.maxW = make([]int64, k)
+	}
+	maxW := rf.maxW[:k]
 	for p := 0; p < k; p++ {
 		t := 1.0 / float64(k)
 		if targets != nil {

@@ -87,9 +87,11 @@ func MapOnto(g *Graph, arch *Arch, opt Options) ([]int32, Stats, error) {
 	for i := range vertices {
 		vertices[i] = i
 	}
-	drb(g, vertices, opt.Fixed, part, sockets, arch, &opt, rng)
+	rf := refinerPool.Get().(*refiner)
+	defer refinerPool.Put(rf)
+	drb(g, vertices, opt.Fixed, part, sockets, arch, &opt, rng, rf)
 	if opt.KWayRefine && !opt.NoRefine {
-		refineKWayMapped(g, part, opt.Fixed, arch, opt.Imbalance, opt.FMPasses)
+		refineKWayMapped(g, part, opt.Fixed, arch, opt.Imbalance, opt.FMPasses, rf)
 	}
 	st := Stats{
 		EdgeCut:   EdgeCut(g, part),
@@ -118,8 +120,9 @@ func archTargets(arch *Arch) []float64 {
 	return t
 }
 
-// drb recursively maps the vertex subset onto the socket subset.
-func drb(g *Graph, vertices []int, fixed []int32, part []int32, sockets []int, arch *Arch, opt *Options, rng *xrand.Rand) {
+// drb recursively maps the vertex subset onto the socket subset. rf carries
+// the refinement scratch shared by the entire recursion.
+func drb(g *Graph, vertices []int, fixed []int32, part []int32, sockets []int, arch *Arch, opt *Options, rng *xrand.Rand, rf *refiner) {
 	if len(sockets) == 1 {
 		for _, v := range vertices {
 			part[v] = int32(sockets[0])
@@ -129,7 +132,7 @@ func drb(g *Graph, vertices []int, fixed []int32, part []int32, sockets []int, a
 	s0, s1 := splitSockets(sockets, arch)
 	cap0, cap1 := groupCapacity(s0, arch), groupCapacity(s1, arch)
 	frac := cap0 / (cap0 + cap1)
-	sub, _ := subgraph(g, vertices)
+	sub := subgraph(g, vertices, rf)
 	var subFixed []int32
 	if fixed != nil {
 		in0 := make(map[int]bool, len(s0))
@@ -155,7 +158,7 @@ func drb(g *Graph, vertices []int, fixed []int32, part []int32, sockets []int, a
 			}
 		}
 	}
-	bis, _ := multilevelBisect(sub, subFixed, frac, opt, rng)
+	bis, _ := multilevelBisect(sub, subFixed, frac, opt, rng, rf)
 	var left, right []int
 	for i, v := range vertices {
 		if bis[i] == 0 {
@@ -164,8 +167,8 @@ func drb(g *Graph, vertices []int, fixed []int32, part []int32, sockets []int, a
 			right = append(right, v)
 		}
 	}
-	drb(g, left, fixed, part, s0, arch, opt, rng.Fork())
-	drb(g, right, fixed, part, s1, arch, opt, rng.Fork())
+	drb(g, left, fixed, part, s0, arch, opt, rng.Fork(), rf)
+	drb(g, right, fixed, part, s1, arch, opt, rng.Fork(), rf)
 }
 
 // splitSockets divides a socket group into two halves so that the distance

@@ -125,9 +125,11 @@ func Partition(g *Graph, opt Options) ([]int32, Stats, error) {
 	for i := range vertices {
 		vertices[i] = i
 	}
-	levels := recursiveBisect(g, vertices, opt.Fixed, part, 0, opt.Parts, targets, &opt, rng)
+	rf := refinerPool.Get().(*refiner)
+	defer refinerPool.Put(rf)
+	levels := recursiveBisect(g, vertices, opt.Fixed, part, 0, opt.Parts, targets, &opt, rng, rf)
 	if opt.KWayRefine && !opt.NoRefine {
-		refineKWay(g, part, opt.Fixed, opt.Parts, opt.TargetWeights, opt.Imbalance, opt.FMPasses)
+		refineKWay(g, part, opt.Fixed, opt.Parts, opt.TargetWeights, opt.Imbalance, opt.FMPasses, rf)
 	}
 	st := Stats{
 		EdgeCut:   EdgeCut(g, part),
@@ -139,8 +141,9 @@ func Partition(g *Graph, opt Options) ([]int32, Stats, error) {
 
 // recursiveBisect assigns parts [lo, hi) to the given vertex subset of g,
 // writing into part. targets are absolute fractions of the *whole* graph.
+// rf carries the refinement scratch shared by the entire recursion.
 // Returns the number of multilevel levels used at the top split (for Stats).
-func recursiveBisect(g *Graph, vertices []int, fixed []int32, part []int32, lo, hi int, targets []float64, opt *Options, rng *xrand.Rand) int {
+func recursiveBisect(g *Graph, vertices []int, fixed []int32, part []int32, lo, hi int, targets []float64, opt *Options, rng *xrand.Rand, rf *refiner) int {
 	if hi-lo == 1 {
 		for _, v := range vertices {
 			part[v] = int32(lo)
@@ -161,7 +164,7 @@ func recursiveBisect(g *Graph, vertices []int, fixed []int32, part []int32, lo, 
 		frac = t0 / tAll
 	}
 	// Build the subgraph on the subset.
-	sub, toSub := subgraph(g, vertices)
+	sub := subgraph(g, vertices, rf)
 	var subFixed []int32
 	if fixed != nil {
 		subFixed = make([]int32, sub.Len())
@@ -177,8 +180,7 @@ func recursiveBisect(g *Graph, vertices []int, fixed []int32, part []int32, lo, 
 			}
 		}
 	}
-	_ = toSub
-	bis, levels := multilevelBisect(sub, subFixed, frac, opt, rng)
+	bis, levels := multilevelBisect(sub, subFixed, frac, opt, rng, rf)
 	var left, right []int
 	for i, v := range vertices {
 		if bis[i] == 0 {
@@ -187,33 +189,80 @@ func recursiveBisect(g *Graph, vertices []int, fixed []int32, part []int32, lo, 
 			right = append(right, v)
 		}
 	}
-	recursiveBisect(g, left, fixed, part, lo, mid, targets, opt, rng.Fork())
-	recursiveBisect(g, right, fixed, part, mid, hi, targets, opt, rng.Fork())
+	recursiveBisect(g, left, fixed, part, lo, mid, targets, opt, rng.Fork(), rf)
+	recursiveBisect(g, right, fixed, part, mid, hi, targets, opt, rng.Fork(), rf)
 	return levels
 }
 
-// subgraph extracts the induced subgraph on vertices (in order).
-func subgraph(g *Graph, vertices []int) (*Graph, map[int]int) {
-	toSub := make(map[int]int, len(vertices))
+// subgraph extracts the induced subgraph on vertices (in order). The
+// original->subset index lives in the refiner's dense scratch (epoch-
+// stamped so consecutive extractions skip clearing it) instead of a
+// per-call map, and the adjacency lists are cut from one slab sized by a
+// counting pass, so building the level costs two allocations instead of a
+// growslice cascade.
+func subgraph(g *Graph, vertices []int, rf *refiner) *Graph {
+	n := g.Len()
+	if cap(rf.subIdx) < n {
+		rf.subIdx = make([]int32, n)
+		rf.subEpoch = make([]int32, n)
+	}
+	idx, ep := rf.subIdx[:n], rf.subEpoch[:n]
+	rf.epoch++
+	if rf.epoch == 0 { // stamp wrapped: old stamps could alias, clear them
+		for i := range rf.subEpoch {
+			rf.subEpoch[i] = 0
+		}
+		rf.epoch = 1
+	}
+	e := rf.epoch
 	for i, v := range vertices {
-		toSub[v] = i
+		idx[v] = int32(i)
+		ep[v] = e
 	}
 	sub := NewGraph(len(vertices))
+	// Counting pass: exact subset degrees.
+	if cap(rf.subDeg) < len(vertices) {
+		rf.subDeg = make([]int32, len(vertices))
+	}
+	deg := rf.subDeg[:len(vertices)]
+	total := 0
+	for i, v := range vertices {
+		d := 0
+		for _, nb := range g.adj[v] {
+			if ep[nb.to] == e {
+				d++
+			}
+		}
+		deg[i] = int32(d)
+		total += d
+	}
+	// Slab the lists so the fill pass never reallocates.
+	slab := make([]neighbor, total)
+	off := 0
+	for i := range vertices {
+		sub.adj[i] = slab[off : off : off+int(deg[i])]
+		off += int(deg[i])
+	}
+	// Fill pass: the input adjacency is deduplicated and each unordered
+	// pair is visited once (v < u), so both halves append without
+	// AddEdge's linear dedup scan. The append order matches what AddEdge
+	// produced before, keeping every downstream tie-break identical.
 	for i, v := range vertices {
 		sub.nw[i] = g.nw[v]
-		g.Neighbors(v, func(u int, w int64) {
-			if j, ok := toSub[u]; ok && v < u {
-				sub.AddEdge(i, j, w)
+		for _, nb := range g.adj[v] {
+			if u := int(nb.to); v < u && ep[u] == e {
+				sub.adj[i] = append(sub.adj[i], neighbor{to: idx[u], w: nb.w})
+				sub.adj[idx[u]] = append(sub.adj[idx[u]], neighbor{to: int32(i), w: nb.w})
 			}
-		})
+		}
 	}
-	return sub, toSub
+	return sub
 }
 
 // multilevelBisect runs the full coarsen/initial/refine pipeline for a
 // 2-way split with side-0 fraction frac. Returns the partition and the
 // number of coarsening levels used.
-func multilevelBisect(g *Graph, fixed []int32, frac float64, opt *Options, rng *xrand.Rand) ([]int32, int) {
+func multilevelBisect(g *Graph, fixed []int32, frac float64, opt *Options, rng *xrand.Rand, rf *refiner) ([]int32, int) {
 	if g.Len() == 0 {
 		return nil, 0
 	}
@@ -221,7 +270,7 @@ func multilevelBisect(g *Graph, fixed []int32, frac float64, opt *Options, rng *
 	var levels []*level
 	cur, curFixed := g, fixed
 	for cur.Len() > opt.CoarsenTo {
-		l := coarsen(cur, curFixed, opt.Matching, rng)
+		l := coarsen(cur, curFixed, opt.Matching, rng, rf)
 		if l == nil {
 			break
 		}
@@ -234,9 +283,9 @@ func multilevelBisect(g *Graph, fixed []int32, frac float64, opt *Options, rng *
 	var bestCut int64 = math.MaxInt64
 	var bestImb float64 = math.Inf(1)
 	for try := 0; try < opt.Tries; try++ {
-		p := initialBisect(cur, curFixed, frac, opt.Initial, rng)
+		p := initialBisect(cur, curFixed, frac, opt.Initial, rng, rf)
 		if !opt.NoRefine {
-			fmRefine(cur, p, curFixed, minW0, maxW0, opt.FMPasses)
+			fmRefine(cur, p, curFixed, minW0, maxW0, opt.FMPasses, rf)
 		}
 		cut := EdgeCut(cur, p)
 		imb := bisectImbalance(cur, p, frac)
@@ -271,7 +320,7 @@ func multilevelBisect(g *Graph, fixed []int32, frac float64, opt *Options, rng *
 			} else {
 				ffixed = levels[i-1].coarseFixed
 			}
-			fmRefine(l.fine, p, ffixed, lo, hi, opt.FMPasses)
+			fmRefine(l.fine, p, ffixed, lo, hi, opt.FMPasses, rf)
 		}
 	}
 	return p, len(levels)

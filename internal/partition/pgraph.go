@@ -11,8 +11,34 @@
 // SHPCC'94): the architecture's socket set is split top-down alongside the
 // task graph, so the cheapest cuts land on the most distant socket groups.
 //
+// # Refinement and the gain-bucket structure
+//
+// FM refinement draws its move candidates from an indexed gain-bucket array
+// (gainbucket.go) rather than a binary heap: a dense bucket array indexed
+// by quantized gain (offset by the pass's max vertex degree-weight bound,
+// stepped by a power of two so byte-scale edge weights don't explode the
+// array), intrusive doubly-linked vertex lists per bucket with a pos index
+// for O(1) remove/reinsert on neighbor-gain updates, a two-level occupancy
+// bitmap, and a max-gain cursor that decays monotonically between
+// insertions. Exact per-vertex gains are kept alongside, so quantization
+// never changes which vertex is extracted. All refinement scratch — the
+// gain-bucket, subgraph/coarsening index arrays, initial-bisection and
+// k-way buffers — lives in a pooled refiner threaded through Partition and
+// MapOnto, making the refinement hot path allocation-free in steady state.
+//
+// # Determinism contract
+//
 // All randomness is seeded; identical inputs and options yield identical
-// partitions.
+// partitions. More specifically, the refiner commits to the exact candidate
+// order of the container/heap implementation it replaced: highest gain
+// first, ties broken toward the lowest vertex id, and a vertex whose move
+// fails the balance check leaves the queue until a neighbor's move changes
+// its gain. Any reimplementation must preserve that order bit-for-bit — the
+// determinism goldens (testdata/determinism.json at the repo root) pin it
+// transitively, and the in-package harness enforces it directly: the old
+// heap refiner survives as a test-only reference (refine_reference_test.go)
+// that the equivalence suite and FuzzFMRefine replay against the bucket
+// implementation, demanding identical move sequences and final partitions.
 package partition
 
 import (

@@ -1,67 +1,133 @@
 package partition
 
-import (
-	"container/heap"
-)
+import "sync"
+
+// refiner bundles the reusable scratch of every refinement stage — the FM
+// gain-bucket, the per-pass lock/move buffers, and the k-way pass's
+// connectivity arrays. One instance is created per Partition/MapOnto call
+// and threaded through the whole recursion, so repeated passes, levels, and
+// bisections share the same grow-only backing arrays: steady state performs
+// zero allocations inside fmRefine. A refiner is single-goroutine state;
+// concurrent partitioner calls each get their own.
+type refiner struct {
+	gb     gainBucket
+	locked []bool
+	moves  []fmMove
+	// subgraph extraction scratch: dense original->subset index plus an
+	// epoch stamp so consecutive extractions skip clearing it.
+	subIdx   []int32
+	subEpoch []int32
+	subDeg   []int32
+	epoch    int32
+	// coarsening scratch.
+	match []int32
+	// initial-bisection scratch.
+	initFree     []int
+	initFront    []bool
+	initGain     []int64
+	initFrontier []int
+	// k-way refinement scratch (refineKWay / refineKWayMapped).
+	conn    []int64
+	weights []int64
+	maxW    []int64
+	// onMove, when non-nil, observes every tentative move in commit order
+	// (before rollback). Test-only: the fuzz/equivalence harness uses it to
+	// compare move sequences against the reference heap refiner.
+	onMove func(v int, from int32)
+}
+
+// refinerPool recycles refiner scratch across Partition/MapOnto calls: the
+// RGP policies partition one window at a time, and without the pool every
+// window would regrow the same buffers from zero. Scratch contents never
+// influence results (pinned by TestFMRefineScratchReuseIsInert), so pooling
+// cannot perturb determinism; concurrent experiment workers simply draw
+// distinct instances.
+var refinerPool = sync.Pool{New: func() any { return &refiner{} }}
+
+type fmMove struct {
+	v    int32
+	from int32
+}
 
 // fmRefine runs Fiduccia–Mattheyses passes on a 2-way partition, in place.
 //
 // Each pass tentatively moves every free vertex at most once, always picking
-// the highest-gain move that keeps both sides within the balance envelope,
-// then rolls back to the best prefix seen. Passes repeat until one fails to
-// improve the cut. maxW0/minW0 bound side 0's weight (the balance envelope
-// derived from the target fraction and tolerance).
-func fmRefine(g *Graph, part []int32, fixed []int32, minW0, maxW0 int64, maxPasses int) {
+// the highest-gain move (ties to the lowest vertex id) that keeps both sides
+// within the balance envelope, then rolls back to the best prefix seen.
+// Passes repeat until one fails to improve the cut. maxW0/minW0 bound side
+// 0's weight (the balance envelope derived from the target fraction and
+// tolerance).
+//
+// The candidate order comes from the gainBucket structure and is bit-
+// identical to the container/heap refiner this replaced (kept as
+// fmRefineHeap in refine_reference_test.go): a vertex whose best move fails
+// the balance check is dropped from the queue and becomes a candidate again
+// only when a neighbor's move changes its gain, exactly as the heap's
+// stale-entry discipline behaved.
+func fmRefine(g *Graph, part []int32, fixed []int32, minW0, maxW0 int64, maxPasses int, rf *refiner) {
 	n := g.Len()
 	if n == 0 {
 		return
 	}
-	gains := make([]int64, n)
-	locked := make([]bool, n)
+	if rf == nil {
+		rf = &refiner{}
+	}
+	if cap(rf.locked) < n {
+		rf.locked = make([]bool, n)
+	}
+	locked := rf.locked[:n]
 	var w0 int64
 	for v := 0; v < n; v++ {
 		if part[v] == 0 {
 			w0 += g.nw[v]
 		}
 	}
-	computeGain := func(v int) int64 {
-		var ext, in int64
-		g.Neighbors(v, func(u int, w int64) {
-			if part[u] == part[v] {
-				in += w
-			} else {
-				ext += w
-			}
-		})
-		return ext - in
+	// The pass's gain bound: no gain can exceed the largest per-vertex sum
+	// of incident edge weights. Fixed for the whole call (weights never
+	// change), so the bucket geometry is computed once. The refinement
+	// loops below iterate adjacency slices directly: the per-edge closure
+	// call of Graph.Neighbors is measurable at this call rate.
+	var maxAdj int64
+	for v := 0; v < n; v++ {
+		var s int64
+		for _, nb := range g.adj[v] {
+			s += nb.w
+		}
+		if s > maxAdj {
+			maxAdj = s
+		}
 	}
+	gb := &rf.gb
 	for pass := 0; pass < maxPasses; pass++ {
-		for v := range locked {
-			locked[v] = fixed != nil && fixed[v] >= 0
-		}
-		pq := &gainHeap{}
+		gb.reset(n, maxAdj)
 		for v := 0; v < n; v++ {
-			if !locked[v] {
-				gains[v] = computeGain(v)
-				heap.Push(pq, gainEntry{v: v, gain: gains[v]})
+			lk := fixed != nil && fixed[v] >= 0
+			locked[v] = lk
+			if !lk {
+				var gain int64
+				pv := part[v]
+				for _, nb := range g.adj[v] {
+					if part[nb.to] == pv {
+						gain -= nb.w
+					} else {
+						gain += nb.w
+					}
+				}
+				gb.insert(int32(v), gain)
 			}
-		}
-		type move struct {
-			v    int
-			from int32
 		}
 		var (
-			moves    []move
+			moves    = rf.moves[:0]
 			cumGain  int64
 			bestGain int64
 			bestIdx  = -1 // prefix length-1 of best state
 		)
-		for pq.Len() > 0 {
-			e := heap.Pop(pq).(gainEntry)
-			v := e.v
-			if locked[v] || e.gain != gains[v] {
-				continue // stale entry
+		for {
+			v32, ok := gb.extractMax()
+			if !ok {
+				break
 			}
+			v := int(v32)
 			// Balance check for moving v to the other side.
 			nw0 := w0
 			if part[v] == 0 {
@@ -77,26 +143,32 @@ func fmRefine(g *Graph, part []int32, fixed []int32, minW0, maxW0 int64, maxPass
 			part[v] = 1 - from
 			w0 = nw0
 			locked[v] = true
-			cumGain += gains[v]
-			moves = append(moves, move{v: v, from: from})
+			cumGain += gb.gain[v]
+			moves = append(moves, fmMove{v: v32, from: from})
+			if rf.onMove != nil {
+				rf.onMove(v, from)
+			}
 			if cumGain > bestGain {
 				bestGain = cumGain
 				bestIdx = len(moves) - 1
 			}
-			// Update neighbor gains.
-			g.Neighbors(v, func(u int, w int64) {
+			// Update neighbor gains: u's gain changes by ±2w depending on
+			// sides. update relinks u in O(1), or re-inserts it if a failed
+			// balance check had dropped it.
+			pv := part[v]
+			for _, nb := range g.adj[v] {
+				u := nb.to
 				if locked[u] {
-					return
+					continue
 				}
-				// u's gain changes by ±2w depending on sides.
-				if part[u] == part[v] {
-					gains[u] -= 2 * w
+				if part[u] == pv {
+					gb.update(u, gb.gain[u]-2*nb.w)
 				} else {
-					gains[u] += 2 * w
+					gb.update(u, gb.gain[u]+2*nb.w)
 				}
-				heap.Push(pq, gainEntry{v: u, gain: gains[u]})
-			})
+			}
 		}
+		rf.moves = moves[:0] // retain grown capacity for later passes/calls
 		// Roll back past the best prefix.
 		for i := len(moves) - 1; i > bestIdx; i-- {
 			m := moves[i]
@@ -111,28 +183,4 @@ func fmRefine(g *Graph, part []int32, fixed []int32, minW0, maxW0 int64, maxPass
 			return // no improvement this pass
 		}
 	}
-}
-
-type gainEntry struct {
-	v    int
-	gain int64
-}
-
-type gainHeap []gainEntry
-
-func (h gainHeap) Len() int { return len(h) }
-func (h gainHeap) Less(i, j int) bool {
-	if h[i].gain != h[j].gain {
-		return h[i].gain > h[j].gain // max-heap on gain
-	}
-	return h[i].v < h[j].v // deterministic tiebreak
-}
-func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *gainHeap) Push(x any)   { *h = append(*h, x.(gainEntry)) }
-func (h *gainHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
 }

@@ -1,0 +1,73 @@
+package partition
+
+// Micro-benchmarks for the FM refinement hot path. allocs/op pins the
+// zero-allocation contract: with a warmed refiner, fmRefine must not
+// allocate in steady state. The /heap variants run the test-only reference
+// implementation so the bucket-vs-heap delta stays visible in one run.
+
+import (
+	"fmt"
+	"testing"
+
+	"numadag/internal/xrand"
+)
+
+// benchGraph builds a connected random graph with byte-scale edge weights
+// and mild degree skew — the shape the simulator's window subgraphs have.
+func benchGraph(n int, seed uint64) *Graph {
+	rng := xrand.New(seed)
+	g := NewGraph(n)
+	w := func() int64 { return int64(1+rng.Intn(8)) << 16 }
+	for v := 0; v < n; v++ {
+		g.SetVertexWeight(v, w())
+		if v > 0 {
+			g.AddEdge(v, rng.Intn(v), w()) // spanning connectivity
+		}
+	}
+	for e := 0; e < 2*n; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			g.AddEdge(a, b, w())
+		}
+	}
+	return g
+}
+
+func benchPart(n int, seed uint64) []int32 {
+	rng := xrand.New(seed)
+	part := make([]int32, n)
+	for v := range part {
+		part[v] = int32(rng.Intn(2))
+	}
+	return part
+}
+
+func BenchmarkFMRefine(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		g := benchGraph(n, 1)
+		pristine := benchPart(n, 2)
+		total := g.TotalVertexWeight()
+		minW0, maxW0 := bisectEnvelope(total, 0.5, 0.05)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			rf := &refiner{}
+			part := make([]int32, n)
+			copy(part, pristine)
+			fmRefine(g, part, nil, minW0, maxW0, 10, rf) // warm the scratch
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(part, pristine)
+				fmRefine(g, part, nil, minW0, maxW0, 10, rf)
+			}
+		})
+		b.Run(fmt.Sprintf("heap/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			part := make([]int32, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(part, pristine)
+				fmRefineHeap(g, part, nil, minW0, maxW0, 10, nil)
+			}
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package partition
+
+// The container/heap FM refiner this package shipped before the gain-bucket
+// structure, kept verbatim as a test-only reference implementation. The
+// equivalence and fuzz harnesses replay both refiners on the same inputs
+// and demand identical move sequences, which is the property that keeps the
+// determinism goldens stable across partitioner rewrites.
+//
+// Its candidate discipline — the contract the gain-bucket must reproduce —
+// is: pop entries in (gain desc, vertex id asc) order; entries whose gain
+// is stale or whose vertex is locked are inert; a vertex whose move fails
+// the balance check is consumed and only becomes a candidate again when a
+// neighbor's move re-pushes it with a changed gain.
+
+import (
+	"container/heap"
+)
+
+// fmRefineHeap is the reference implementation. onMove, when non-nil,
+// observes every tentative move in commit order (before rollback).
+func fmRefineHeap(g *Graph, part []int32, fixed []int32, minW0, maxW0 int64, maxPasses int, onMove func(v int, from int32)) {
+	n := g.Len()
+	if n == 0 {
+		return
+	}
+	gains := make([]int64, n)
+	locked := make([]bool, n)
+	var w0 int64
+	for v := 0; v < n; v++ {
+		if part[v] == 0 {
+			w0 += g.nw[v]
+		}
+	}
+	computeGain := func(v int) int64 {
+		var ext, in int64
+		g.Neighbors(v, func(u int, w int64) {
+			if part[u] == part[v] {
+				in += w
+			} else {
+				ext += w
+			}
+		})
+		return ext - in
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		for v := range locked {
+			locked[v] = fixed != nil && fixed[v] >= 0
+		}
+		pq := &gainHeap{}
+		for v := 0; v < n; v++ {
+			if !locked[v] {
+				gains[v] = computeGain(v)
+				heap.Push(pq, gainEntry{v: v, gain: gains[v]})
+			}
+		}
+		type move struct {
+			v    int
+			from int32
+		}
+		var (
+			moves    []move
+			cumGain  int64
+			bestGain int64
+			bestIdx  = -1 // prefix length-1 of best state
+		)
+		for pq.Len() > 0 {
+			e := heap.Pop(pq).(gainEntry)
+			v := e.v
+			if locked[v] || e.gain != gains[v] {
+				continue // stale entry
+			}
+			// Balance check for moving v to the other side.
+			nw0 := w0
+			if part[v] == 0 {
+				nw0 -= g.nw[v]
+			} else {
+				nw0 += g.nw[v]
+			}
+			if nw0 < minW0 || nw0 > maxW0 {
+				continue // cannot move without breaking balance; skip
+			}
+			// Commit tentative move.
+			from := part[v]
+			part[v] = 1 - from
+			w0 = nw0
+			locked[v] = true
+			cumGain += gains[v]
+			moves = append(moves, move{v: v, from: from})
+			if onMove != nil {
+				onMove(v, from)
+			}
+			if cumGain > bestGain {
+				bestGain = cumGain
+				bestIdx = len(moves) - 1
+			}
+			// Update neighbor gains.
+			g.Neighbors(v, func(u int, w int64) {
+				if locked[u] {
+					return
+				}
+				// u's gain changes by ±2w depending on sides.
+				if part[u] == part[v] {
+					gains[u] -= 2 * w
+				} else {
+					gains[u] += 2 * w
+				}
+				heap.Push(pq, gainEntry{v: u, gain: gains[u]})
+			})
+		}
+		// Roll back past the best prefix.
+		for i := len(moves) - 1; i > bestIdx; i-- {
+			m := moves[i]
+			part[m.v] = m.from
+			if m.from == 0 {
+				w0 += g.nw[m.v]
+			} else {
+				w0 -= g.nw[m.v]
+			}
+		}
+		if bestGain <= 0 {
+			return // no improvement this pass
+		}
+	}
+}
+
+type gainEntry struct {
+	v    int
+	gain int64
+}
+
+type gainHeap []gainEntry
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain // max-heap on gain
+	}
+	return h[i].v < h[j].v // deterministic tiebreak
+}
+func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x any)   { *h = append(*h, x.(gainEntry)) }
+func (h *gainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
