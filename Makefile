@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-sim bench-json fuzz-smoke vet fmt-check ci clean
+.PHONY: build test test-short test-race test-allocs bench bench-sim bench-json bench-check fuzz-smoke vet fmt-check ci clean
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,20 @@ test-short:
 	$(GO) test -short ./...
 
 # The experiment worker pool shares TDG snapshots across cells; the race
-# detector guards that read-only sharing.
+# detector guards that read-only sharing. CI runs this as its own parallel
+# job (the `race` job in .github/workflows/ci.yml) so it does not serialize
+# behind the plain test step.
 test-race:
 	$(GO) test -race ./...
+
+# Blocking allocation-contract gate: deterministic testing.AllocsPerRun
+# tests (not benchmarks) asserting 0 allocs/op in steady state for the
+# simulator hot path — flow churn, batched same-instant fan-out, the full
+# water-filling pass — and for the partitioner's fmRefine. A named, blocking
+# CI step (`allocs` in ci.yml); a regression fails the build, not just the
+# nightly bench trend.
+test-allocs:
+	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/sim ./internal/partition
 
 vet:
 	$(GO) vet ./...
@@ -25,8 +36,10 @@ fmt-check:
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 
-# Mirrors .github/workflows/ci.yml.
-ci: fmt-check build vet test test-race
+# Mirrors the blocking steps of .github/workflows/ci.yml (the race job runs
+# in parallel there; fuzz-smoke is non-blocking and nightly.yml tracks the
+# benchmark trajectory).
+ci: fmt-check build vet test test-race test-allocs
 
 # Full benchmark families (paper figures + ablations).
 bench:
@@ -39,14 +52,30 @@ bench-sim:
 	$(GO) test -run '^$$' -bench 'BenchmarkFigure1|BenchmarkAblationSockets|BenchmarkMultiSeedSweep' -benchmem .
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/sim/
 
-# Machine-readable perf trajectory: writes BENCH_sim.json.
+# Machine-readable perf trajectory: writes BENCH_sim.json. Regenerate (and
+# commit) in perf-relevant PRs; the nightly workflow diffs a fresh run
+# against the committed file.
 bench-json:
 	./scripts/bench_sim.sh
 
-# Short coverage-guided fuzz of the FM refiner's invariants and its
-# heap-equivalence contract (the seed corpus also runs in plain `make test`).
+# Re-runs the benchmark families and fails on allocs/op regressions against
+# the committed BENCH_sim.json — what .github/workflows/nightly.yml runs on
+# schedule.
+bench-check:
+	./scripts/bench_sim.sh BENCH_sim.new.json
+	./scripts/bench_check.sh BENCH_sim.new.json BENCH_sim.json
+	rm -f BENCH_sim.new.json
+
+# Short coverage-guided fuzz of the FM refiner (gain-bucket vs heap
+# reference) and the fluid network's full-vs-incremental reallocation
+# contract (batched CSR/worklist fill vs the eager naive ladder). The seed
+# corpora also run in plain `make test`; CI uploads any new crashers as
+# workflow artifacts.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzFMRefine -fuzztime=15s ./internal/partition
+	$(GO) test -fuzz=FuzzReallocate -fuzztime=15s ./internal/sim
 
+# BENCH_sim.json is tracked (the perf trajectory across PRs) and must
+# survive a clean.
 clean:
-	rm -f BENCH_sim.json *.test *.out *.prof
+	rm -f BENCH_sim.new.json *.test *.out *.prof

@@ -1,0 +1,29 @@
+package partition
+
+import (
+	"testing"
+)
+
+// Allocation-contract test for the FM refinement hot path, run as a
+// blocking deterministic test (testing.AllocsPerRun, not a benchmark) by
+// `make test-allocs` and the CI allocs gate: with a warmed refiner, a full
+// fmRefine pass — gain buckets, bucket drains, boundary scans — must not
+// allocate.
+func TestFMRefineSteadyStateAllocs(t *testing.T) {
+	const n = 2000
+	g := benchGraph(n, 1)
+	pristine := benchPart(n, 2)
+	total := g.TotalVertexWeight()
+	minW0, maxW0 := bisectEnvelope(total, 0.5, 0.05)
+	rf := &refiner{}
+	part := make([]int32, n)
+	copy(part, pristine)
+	fmRefine(g, part, nil, minW0, maxW0, 10, rf) // warm the scratch
+	avg := testing.AllocsPerRun(20, func() {
+		copy(part, pristine)
+		fmRefine(g, part, nil, minW0, maxW0, 10, rf)
+	})
+	if avg != 0 {
+		t.Fatalf("fmRefine allocates %v objects per op in steady state, want 0", avg)
+	}
+}

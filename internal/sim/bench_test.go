@@ -4,9 +4,9 @@ import (
 	"testing"
 )
 
-// BenchmarkReallocate measures one max-min water-filling pass over a
-// contended 8-socket-like network (16 resources, 32 capped flows crossing
-// one or two resources each — the machine.Transfer shape).
+// BenchmarkReallocate measures one from-scratch max-min water-filling pass
+// over a contended 8-socket-like network (16 resources, 32 capped flows
+// crossing one or two resources each — the machine.Transfer shape).
 func BenchmarkReallocate(b *testing.B) {
 	e := NewEngine()
 	n := NewNet(e)
@@ -30,6 +30,44 @@ func BenchmarkReallocate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		n.reallocate()
 	}
+}
+
+// BenchmarkReallocateBatched measures a batched same-instant churn burst on
+// the same network shape: 8 flows start at one timestamp (a task fanning out
+// transfers) and the deferred flush pays for one redistribution instead of
+// eight.
+func BenchmarkReallocateBatched(b *testing.B) {
+	e := NewEngine()
+	n := NewNet(e)
+	rs := make([]*Resource, 16)
+	for i := range rs {
+		rs[i] = n.NewResource("r", 30)
+	}
+	paths := make([][]*Resource, 32)
+	for i := range paths {
+		if i%2 == 0 {
+			paths[i] = []*Resource{rs[i%16]}
+		} else {
+			paths[i] = []*Resource{rs[i%16], rs[(i+1)%16]}
+		}
+	}
+	for i := 0; i < 32; i++ {
+		n.StartFlowCapped(1e12, paths[i], 0.64, nil)
+	}
+	n.flush()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			n.StartFlowCapped(1e9, paths[(i+j)%32], 0.64, nil)
+		}
+		n.flush() // one redistribution for the whole burst
+		for j := 0; j < 8; j++ {
+			e.Step() // drain the 8 completions (each reflushes)
+		}
+	}
+	b.StopTimer()
+	e.Run()
 }
 
 // BenchmarkFlowChurn measures the steady-state start/finish cycle: a working

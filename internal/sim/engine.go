@@ -42,6 +42,16 @@
 //     rescheduled. Completion order is identical to the per-flow-timer
 //     design because the engine fires same-instant events in scheduling
 //     order and deadlines are assigned in that same order.
+//   - Reallocation itself is deferred and batched: flow churn marks the Net
+//     dirty and the engine runs registered flush hooks (AddFlusher /
+//     RequestFlush) once per instant, just before the clock advances — so a
+//     task fanning out transfers, or a wave of same-nanosecond completions,
+//     pays for one max-min redistribution instead of one per event. The
+//     water-filling pass walks per-resource crossing lists (CSR) and
+//     shrinking worklists instead of rescanning all resources x all flows
+//     per round, executing bit-for-bit the float operations of the naive
+//     ladder it replaced (kept as a test-only reference and enforced by the
+//     equivalence suite and FuzzReallocate).
 //
 // # Determinism contract
 //
@@ -106,6 +116,15 @@ type Engine struct {
 	heap   []int32 // binary heap of live slot IDs, ordered by (at, seq)
 	seq    uint64
 	nSteps uint64
+
+	// End-of-instant flush hooks. A subsystem that batches same-instant
+	// work (the fluid network coalescing flow churn into one reallocation)
+	// registers a flusher once and calls RequestFlush when it has deferred
+	// work; the engine runs the flushers before the clock advances past the
+	// current instant and before reporting the queue drained. Flushers run
+	// in registration order, keeping runs deterministic.
+	flushers  []func()
+	needFlush bool
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -251,10 +270,70 @@ func (e *Engine) After(d Time, fn func()) Timer {
 	return e.At(e.now+d, fn)
 }
 
+// Reschedule moves a still-pending event to a new absolute time, keeping
+// its scheduling seq — and with it the event's rank among same-instant
+// ties. It reports whether the timer was live; a fired, stopped or zero
+// timer is left untouched. The fluid network uses this to claim its
+// completion event's position in the tie order at churn time while fixing
+// the actual deadline later, at the end-of-instant flush.
+func (e *Engine) Reschedule(t Timer, at Time) bool {
+	if t.e == nil {
+		return false
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: rescheduling event to %v before now %v", at, e.now))
+	}
+	s := &e.slots[t.slot]
+	if s.gen != t.gen || s.pos < 0 {
+		return false // already fired, stopped, or slot recycled
+	}
+	s.at = at
+	if !e.siftDown(int(s.pos)) {
+		e.siftUp(int(s.pos))
+	}
+	return true
+}
+
+// AddFlusher registers an end-of-instant hook. See Engine.flushers.
+func (e *Engine) AddFlusher(fn func()) {
+	if fn == nil {
+		panic("sim: registering nil flusher")
+	}
+	e.flushers = append(e.flushers, fn)
+}
+
+// RequestFlush asks the engine to run the registered flushers before the
+// clock next advances (or before the queue is reported drained). Idempotent
+// within an instant; flushers that have nothing deferred must tolerate being
+// called anyway.
+func (e *Engine) RequestFlush() { e.needFlush = true }
+
+// runFlush runs the registered flushers if a flush was requested, reporting
+// whether it did. Flushers may schedule new events, including events at the
+// current instant, and may request a further flush (the caller loops).
+func (e *Engine) runFlush() bool {
+	if !e.needFlush {
+		return false
+	}
+	e.needFlush = false
+	for _, fn := range e.flushers {
+		fn()
+	}
+	return true
+}
+
 // Step executes the next event, advancing the clock to its timestamp. It
 // reports whether an event was executed. (Cancelled events are removed at
-// Stop time, so every queued event is live.)
+// Stop time, so every queued event is live.) Before the clock advances past
+// the current instant — and before reporting the queue drained — any
+// requested end-of-instant flush runs; flushed work may queue same-instant
+// events, which are then executed first.
 func (e *Engine) Step() bool {
+	for len(e.heap) == 0 || e.slots[e.heap[0]].at > e.now {
+		if !e.runFlush() {
+			break
+		}
+	}
 	if len(e.heap) == 0 {
 		return false
 	}
@@ -279,8 +358,16 @@ func (e *Engine) Run() Time {
 // queued, and advances the clock to min(deadline, last event time). It
 // reports whether the queue drained.
 func (e *Engine) RunUntil(deadline Time) bool {
-	for len(e.heap) > 0 && e.slots[e.heap[0]].at <= deadline {
-		e.Step()
+	for {
+		if len(e.heap) > 0 && e.slots[e.heap[0]].at <= deadline {
+			e.Step()
+			continue
+		}
+		// The horizon (or the queue) is exhausted; deferred work may still
+		// queue events within it.
+		if !e.runFlush() {
+			break
+		}
 	}
 	if e.now < deadline && len(e.heap) > 0 {
 		e.now = deadline

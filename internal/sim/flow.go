@@ -89,6 +89,7 @@ func (f *Flow) Remaining() float64 {
 	if f.finished {
 		return 0
 	}
+	f.net.flush() // deferred reallocation: refresh the rate before reading
 	elapsed := float64(f.net.eng.Now() - f.lastUpdate)
 	rem := f.remaining - elapsed*f.rate
 	if rem < 0 {
@@ -98,7 +99,12 @@ func (f *Flow) Remaining() float64 {
 }
 
 // Rate returns the current fair-share rate in bytes/ns.
-func (f *Flow) Rate() float64 { return f.rate }
+func (f *Flow) Rate() float64 {
+	if !f.finished {
+		f.net.flush() // deferred reallocation: refresh before reading
+	}
+	return f.rate
+}
 
 // crosses reports whether the flow's path includes r — a bitset test when
 // every path resource has an ID below 64 (always true for the machines the
@@ -120,6 +126,46 @@ func (f *Flow) crosses(r *Resource) bool {
 
 // Net is a fluid-flow network bound to an Engine. All methods must be called
 // from the engine goroutine (the simulator is single-threaded by design).
+//
+// # Incremental reallocation
+//
+// Starting or finishing a flow invalidates rates, but the recompute is
+// deferred: churn marks the network dirty and parks the completion event on
+// a far-future placeholder, and the engine runs the Net's flush hook once,
+// just before the clock leaves the current instant. That batches
+// same-instant churn — a task fanning out transfers to several home
+// sockets, or a wave of flows finishing at one timestamp, pays for one
+// redistribution instead of one per event. Deferral is observationally
+// exact: intermediate same-instant rates would exist for zero simulated
+// time, remaining-byte accounting is progressed eagerly per event, the
+// flush reassigns deadlines at the same instant an eager recompute would
+// have, and the completion event keeps the tie rank the eager design gave
+// it — its scheduling seq is claimed at the churn point and the flush only
+// moves the placeholder to the real deadline (see noteChurn and
+// TestSameInstantTieOrderMatchesEager). Rates become observable only
+// between instants, or through Flow.Rate/Remaining, which force the flush.
+//
+// The fill itself stays a whole-network water-filling pass, restructured so
+// its cost tracks the flows that actually cross contended resources
+// (per-resource crossing lists and shrinking worklists replace the historic
+// all-resources x all-flows scans) while executing bit-for-bit the float
+// operations of the naive ladder — the determinism goldens pin simulated
+// physics down to the nanosecond, so the optimised fill must be exactly
+// equivalent, and the equivalence suite and FuzzReallocate hold it to the
+// test-only reference implementation.
+//
+// A further restriction — water-filling only the connected component of
+// resources the changed flow crosses, leaving other components' rates
+// untouched — is deliberately NOT done, although the path bitsets make it
+// cheap: with per-flow rate caps the historical global ladder freezes
+// cap-bound flows in rounds driven by the global minimum share, so another
+// component's share can split one component's cap-freeze batch and change
+// the order residual capacities are subtracted in. Per-component fills
+// reorder those subtractions, and float subtraction is not associative:
+// rates drift by ulps, ceil'd deadlines by nanoseconds, and whole schedules
+// follow (6 of the 195 determinism goldens moved when it was tried). The
+// component fill would be bit-exact only against a per-component reference,
+// not against the recorded history.
 type Net struct {
 	eng       *Engine
 	resources []*Resource
@@ -127,10 +173,30 @@ type Net struct {
 	freeFlows []*Flow // recycled Flow structs
 	nextFlow  int
 
-	// Scratch buffers reused by reallocate, len == len(resources).
-	residual []float64
-	unfrozen []int
-	sums     []float64
+	// Scratch buffers reused by the water-filling passes. residual,
+	// unfrozen and sums have len == len(resources). csrStart/csrFlows hold
+	// the per-resource crossing lists in CSR layout; liveRes and liveFlows
+	// are the shrinking round worklists.
+	residual  []float64
+	unfrozen  []int
+	sums      []float64
+	csrStart  []int32 // len == len(resources)+1; bucket r is [csrStart[r], csrStart[r+1])
+	csrCur    []int32 // fill cursors, len == len(resources)
+	csrFlows  []*Flow // flattened buckets, ascending flow id within each
+	liveRes   []int32 // resource ids with unfrozen flows, ascending
+	liveFlows []*Flow // unfrozen flows, ascending id
+
+	// Deferred-reallocation state. batch controls same-instant coalescing:
+	// when false every churn event flushes immediately (one redistribution
+	// per start/finish, the historical behaviour); the equivalence tests
+	// use it to pin batching against eager recomputation.
+	dirty bool
+	batch bool
+
+	// fill runs one water-filling pass at the given instant, settling the
+	// resource integrals. Production uses (*Net).waterfill; the equivalence
+	// suite swaps in the naive reference ladder.
+	fill func(Time)
 
 	// Single earliest-completion event; completeFn is allocated once so
 	// rescheduling never creates a new closure.
@@ -145,8 +211,10 @@ type Net struct {
 
 // NewNet creates an empty flow network driven by eng.
 func NewNet(eng *Engine) *Net {
-	n := &Net{eng: eng}
+	n := &Net{eng: eng, batch: true}
 	n.completeFn = n.onComplete
+	n.fill = n.waterfill
+	eng.AddFlusher(n.flush)
 	return n
 }
 
@@ -161,6 +229,7 @@ func (n *Net) NewResource(name string, capacity float64) *Resource {
 	n.residual = append(n.residual, 0)
 	n.unfrozen = append(n.unfrozen, 0)
 	n.sums = append(n.sums, 0)
+	n.csrCur = append(n.csrCur, 0)
 	return r
 }
 
@@ -235,7 +304,10 @@ func (n *Net) StartFlowCapped(bytes float64, path []*Resource, maxRate float64, 
 	for _, r := range f.path {
 		r.flows++
 	}
-	n.reallocate()
+	n.noteChurn()
+	if !n.batch {
+		n.flush()
+	}
 	return f
 }
 
@@ -277,20 +349,39 @@ func (n *Net) freezeFlow(f *Flow, rate float64) {
 	}
 }
 
-// reallocate computes the max-min fair rate for every active flow
-// (water-filling with per-flow caps) and reschedules the single completion
-// event.
-//
-// Water-filling: repeatedly find the binding constraint — either the
-// bottleneck resource (smallest per-unfrozen-flow fair share) or an unfrozen
-// flow whose own cap is below that share — freeze the affected flows,
-// subtract their consumption from every resource they cross, repeat.
-//
-// Everything here runs on per-Net scratch buffers and dense slices: no
-// allocation, no map iteration, no sorting. Flows are visited in ascending
-// ID order (the order of n.active), which both makes runs bit-reproducible
-// and matches the order completion timers were historically scheduled in.
-func (n *Net) reallocate() {
+// sentinelTime parks the completion-event placeholder beyond any reachable
+// deadline; the end-of-instant flush always reschedules or stops it before
+// the clock could get there.
+const sentinelTime = Time(math.MaxInt64)
+
+// noteChurn records that a flow just started or finished: rates are stale
+// and must be recomputed before the current instant ends. The armed
+// completion event is replaced by a far-future placeholder, so it can never
+// fire on stale deadlines — and, crucially, the placeholder claims the
+// completion event's scheduling seq here, at the churn point, exactly where
+// the historical eager recompute re-armed its timer. The flush only moves
+// the placeholder to the real deadline (Engine.Reschedule keeps the seq),
+// so a tie between the completion and an event scheduled later in the same
+// instant resolves exactly as it did under one-recompute-per-churn.
+func (n *Net) noteChurn() {
+	n.pending.Stop()
+	n.pending = n.eng.At(sentinelTime, n.completeFn)
+	if !n.dirty {
+		n.dirty = true
+		n.eng.RequestFlush()
+	}
+}
+
+// flush applies the deferred reallocation: one water-filling pass over the
+// network, then fresh completion deadlines and a re-armed completion event.
+// A no-op when no churn is pending, so forced flushes (Flow.Rate, the
+// engine's end-of-instant hook, RunUntil's horizon check) are free on a
+// clean network.
+func (n *Net) flush() {
+	if !n.dirty {
+		return
+	}
+	n.dirty = false
 	now := n.eng.Now()
 	if len(n.active) == 0 {
 		for _, r := range n.resources {
@@ -300,45 +391,150 @@ func (n *Net) reallocate() {
 		n.pending = Timer{}
 		return
 	}
+	n.fill(now)
+	// Assign fresh completion deadlines in flow-ID order — mirroring the
+	// (time, seq) order per-flow timers would have been scheduled in — and
+	// arm the single completion event for the earliest one. The pass covers
+	// every active flow, not only those whose rate changed: the historical
+	// ladder recomputed every deadline from the current instant, and the
+	// ceil-rounding of remaining/rate depends on that instant, so skipping
+	// a flow here could drift its deadline a nanosecond from the reference.
+	for _, f := range n.active {
+		dt, ok := completionDelay(f.remaining, f.rate)
+		n.dcounter++
+		f.dseq = n.dcounter
+		f.starved = !ok
+		if ok {
+			f.deadline = now + dt
+		}
+	}
+	// Move the placeholder claimed by the last churn to the real deadline,
+	// keeping its seq (see noteChurn).
+	best := n.earliestDue()
+	if best == nil {
+		n.pending.Stop()
+		n.pending = Timer{}
+		return
+	}
+	if !n.eng.Reschedule(n.pending, best.deadline) {
+		// No live placeholder (defensive — noteChurn always arms one while
+		// dirty): fall back to a fresh event.
+		n.pending = n.eng.At(best.deadline, n.completeFn)
+	}
+}
+
+// waterfill computes the max-min fair rate for every active flow
+// (water-filling with per-flow caps) and settles the resource integrals.
+//
+// Water-filling: repeatedly find the binding constraint — either the
+// bottleneck resource (smallest per-unfrozen-flow fair share) or an unfrozen
+// flow whose own cap is below that share — freeze the affected flows,
+// subtract their consumption from every resource they cross, repeat.
+//
+// The pass is bit-for-bit equivalent to the naive ladder (kept as the
+// test-only referenceWaterfill): identical float operations in identical
+// order. What changed is the scan structure, which the profile said was the
+// hot spot, not the arithmetic:
+//
+//   - Per-resource crossing lists in CSR layout (rebuilt per flush in two
+//     passes over the active flows, so every bucket is in ascending flow-id
+//     order) replace the all-flows scan + crosses() test when a bottleneck
+//     resource freezes its flows.
+//   - A shrinking worklist of unfrozen flows (stable-filtered, so ascending
+//     id order is preserved) replaces the all-flows scan of the cap-freeze
+//     round.
+//   - A shrinking worklist of resources with unfrozen flows replaces the
+//     all-resources scans of the share minimum and the freeze pass.
+//
+// Everything runs on per-Net scratch buffers: no allocation, no map
+// iteration, no sorting. Flows are visited in ascending ID order and
+// resources in ascending id order, which both makes runs bit-reproducible
+// and matches the order completion timers were historically scheduled in.
+func (n *Net) waterfill(now Time) {
 	residual, unfrozen := n.residual, n.unfrozen
+	if len(n.csrStart) != len(n.resources)+1 {
+		n.csrStart = make([]int32, len(n.resources)+1)
+	}
+	start, cur := n.csrStart, n.csrCur
 	for i, r := range n.resources {
 		residual[i] = r.capacity
 		unfrozen[i] = 0
+		start[i+1] = 0
 	}
 	for _, f := range n.active {
+		for _, r := range f.path {
+			start[r.id+1]++
+		}
+	}
+	for i := 1; i < len(start); i++ {
+		start[i] += start[i-1]
+	}
+	total := int(start[len(start)-1])
+	if cap(n.csrFlows) < total {
+		n.csrFlows = make([]*Flow, total)
+	}
+	csr := n.csrFlows[:total]
+	copy(cur, start[:len(cur)])
+	lf := n.liveFlows[:0]
+	for _, f := range n.active {
 		f.frozen = false
+		lf = append(lf, f)
 		for _, r := range f.path {
 			unfrozen[r.id]++
+			csr[cur[r.id]] = f
+			cur[r.id]++
+		}
+	}
+	lr := n.liveRes[:0]
+	for id := range n.resources {
+		if unfrozen[id] > 0 {
+			lr = append(lr, int32(id))
 		}
 	}
 	left := len(n.active)
 	for left > 0 {
-		// Bottleneck-resource share.
+		// Bottleneck-resource share, over resources that still carry
+		// unfrozen flows (compacted in place; a resource whose flows all
+		// froze can never regain one within this fill).
 		share := math.Inf(1)
-		for id := range n.resources {
+		k := 0
+		for _, id := range lr {
 			if unfrozen[id] == 0 {
 				continue
 			}
+			lr[k] = id
+			k++
 			if s := residual[id] / float64(unfrozen[id]); s < share {
 				share = s
 			}
 		}
-		// A flow whose cap is at or below the share binds first.
+		lr = lr[:k]
+		// A flow whose cap is at or below the share binds first. The
+		// worklist is compacted in the same stable pass, preserving the
+		// ascending-id visit order of the naive ladder.
 		capBound := false
-		for _, f := range n.active {
-			if !f.frozen && f.maxRate <= share {
+		k = 0
+		for _, f := range lf {
+			if f.frozen {
+				continue
+			}
+			if f.maxRate <= share {
 				n.freezeFlow(f, f.maxRate)
 				left--
 				capBound = true
+				continue
 			}
+			lf[k] = f
+			k++
 		}
+		lf = lf[:k]
 		if capBound {
 			continue // resource shares changed; recompute
 		}
 		if math.IsInf(share, 1) {
 			// Remaining flows cross no contended resource; cannot happen
 			// because every flow has a non-empty path, but guard anyway.
-			for _, f := range n.active {
+			for _, f := range lf {
 				if !f.frozen {
 					f.rate = f.maxRate
 					f.frozen = true
@@ -347,17 +543,19 @@ func (n *Net) reallocate() {
 			}
 			break
 		}
-		// Freeze every unfrozen flow crossing a bottleneck resource.
+		// Freeze every unfrozen flow crossing a bottleneck resource,
+		// walking the resource's own crossing list instead of scanning all
+		// active flows.
 		progressed := false
-		for _, r := range n.resources {
-			if unfrozen[r.id] == 0 {
+		for _, id := range lr {
+			if unfrozen[id] == 0 {
 				continue
 			}
-			if residual[r.id]/float64(unfrozen[r.id]) > share*(1+1e-12) {
+			if residual[id]/float64(unfrozen[id]) > share*(1+1e-12) {
 				continue
 			}
-			for _, f := range n.active {
-				if f.frozen || !f.crosses(r) {
+			for _, f := range csr[start[id]:start[id+1]] {
+				if f.frozen {
 					continue
 				}
 				n.freezeFlow(f, share)
@@ -369,6 +567,7 @@ func (n *Net) reallocate() {
 			panic("sim: max-min water-filling made no progress")
 		}
 	}
+	n.liveFlows, n.liveRes = lf[:0], lr[:0] // keep growth; drop stale refs logically
 	// Settle per-resource rate integrals with the fresh allocation.
 	sums := n.sums
 	for i := range sums {
@@ -382,19 +581,13 @@ func (n *Net) reallocate() {
 	for _, res := range n.resources {
 		res.settle(now, sums[res.id])
 	}
-	// Assign fresh completion deadlines in flow-ID order — mirroring the
-	// (time, seq) order per-flow timers would have been scheduled in — and
-	// arm the single completion event for the earliest one.
-	for _, f := range n.active {
-		dt, ok := completionDelay(f.remaining, f.rate)
-		n.dcounter++
-		f.dseq = n.dcounter
-		f.starved = !ok
-		if ok {
-			f.deadline = now + dt
-		}
-	}
-	n.armCompletion()
+}
+
+// reallocate forces an immediate from-scratch recompute regardless of
+// pending churn. Benchmarks use it to measure one full fill.
+func (n *Net) reallocate() {
+	n.noteChurn()
+	n.flush()
 }
 
 // completionDelay returns the event delay for a flow with the given
@@ -478,9 +671,10 @@ func (n *Net) onComplete() {
 	n.finish(due)
 }
 
-// finish completes f: removes it from the active set, reallocates the
-// remaining flows (which re-arms the completion event), runs the callback,
-// and recycles the struct.
+// finish completes f: removes it from the active set, marks its component
+// for reallocation (flushed immediately when batching is off, or at the end
+// of the instant — which also re-arms the completion event), runs the
+// callback, and recycles the struct.
 func (n *Net) finish(f *Flow) {
 	f.finished = true
 	f.remaining = 0
@@ -489,7 +683,10 @@ func (n *Net) finish(f *Flow) {
 		r.flows--
 	}
 	n.TotalBytes += f.volume
-	n.reallocate()
+	n.noteChurn()
+	if !n.batch {
+		n.flush()
+	}
 	done := f.done
 	f.done = nil
 	f.path = nil

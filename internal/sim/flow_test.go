@@ -356,6 +356,7 @@ func TestStarvedFlowRecoversAfterReallocation(t *testing.T) {
 	n := NewNet(e)
 	r := n.NewResource("r", 10)
 	f := n.StartFlow(1000, []*Resource{r}, nil)
+	n.flush() // apply the deferred reallocation before poking its result
 	// Force the starved corner directly (float rounding can produce it in
 	// big runs but not on demand): pretend water-filling gave f nothing.
 	f.rate = 0

@@ -1,0 +1,117 @@
+package sim
+
+import "math"
+
+// This file keeps the naive water-filling ladder — the seed implementation
+// reallocate() used before the deferred/batched flush and the CSR/worklist
+// scan structure — as a test-only reference, in the same spirit as the
+// partition package's heap-based refiner reference. The production fill
+// must execute bit-for-bit the same float operations: the determinism
+// goldens pin simulated physics to the nanosecond, so "equivalent" here
+// means identical rates, identical deadlines, identical event order, not
+// "close". The equivalence suite and FuzzReallocate drive a production net
+// and a reference net through the same flow churn and compare them
+// exactly.
+//
+// The reference differs from production in two deliberate ways:
+//
+//   - referenceWaterfill scans every resource and every active flow each
+//     round (O(R x F) crosses() tests) instead of using the CSR crossing
+//     lists and shrinking worklists.
+//   - newReferenceNet disables same-instant batching: every StartFlow and
+//     every completion redistributes immediately, the historical one
+//     recompute per churn event.
+
+// newReferenceNet returns a Net that reallocates eagerly on every churn
+// event through the naive ladder.
+func newReferenceNet(eng *Engine) *Net {
+	n := NewNet(eng)
+	n.batch = false
+	n.fill = n.referenceWaterfill
+	return n
+}
+
+// referenceWaterfill is the seed max-min fill: all-resources share scans,
+// all-flows cap scans, and crosses() tests against every active flow for
+// every bottleneck resource.
+func (n *Net) referenceWaterfill(now Time) {
+	residual, unfrozen := n.residual, n.unfrozen
+	for i, r := range n.resources {
+		residual[i] = r.capacity
+		unfrozen[i] = 0
+	}
+	for _, f := range n.active {
+		f.frozen = false
+		for _, r := range f.path {
+			unfrozen[r.id]++
+		}
+	}
+	left := len(n.active)
+	for left > 0 {
+		// Bottleneck-resource share.
+		share := math.Inf(1)
+		for id := range n.resources {
+			if unfrozen[id] == 0 {
+				continue
+			}
+			if s := residual[id] / float64(unfrozen[id]); s < share {
+				share = s
+			}
+		}
+		// A flow whose cap is at or below the share binds first.
+		capBound := false
+		for _, f := range n.active {
+			if !f.frozen && f.maxRate <= share {
+				n.freezeFlow(f, f.maxRate)
+				left--
+				capBound = true
+			}
+		}
+		if capBound {
+			continue // resource shares changed; recompute
+		}
+		if math.IsInf(share, 1) {
+			for _, f := range n.active {
+				if !f.frozen {
+					f.rate = f.maxRate
+					f.frozen = true
+					left--
+				}
+			}
+			break
+		}
+		// Freeze every unfrozen flow crossing a bottleneck resource.
+		progressed := false
+		for _, r := range n.resources {
+			if unfrozen[r.id] == 0 {
+				continue
+			}
+			if residual[r.id]/float64(unfrozen[r.id]) > share*(1+1e-12) {
+				continue
+			}
+			for _, f := range n.active {
+				if f.frozen || !f.crosses(r) {
+					continue
+				}
+				n.freezeFlow(f, share)
+				left--
+				progressed = true
+			}
+		}
+		if !progressed {
+			panic("sim: reference water-filling made no progress")
+		}
+	}
+	sums := n.sums
+	for i := range sums {
+		sums[i] = 0
+	}
+	for _, f := range n.active {
+		for _, res := range f.path {
+			sums[res.id] += f.rate
+		}
+	}
+	for _, res := range n.resources {
+		res.settle(now, sums[res.id])
+	}
+}

@@ -15,6 +15,7 @@ out="${1:-BENCH_sim.json}"
 BEGIN { print "["; first = 1 }
 /^Benchmark/ {
   name = $1; nsop = ""; allocs = ""; simms = ""
+  sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix: names must be machine-independent
   for (i = 2; i <= NF; i++) {
     if ($(i) == "ns/op")      nsop   = $(i - 1)
     if ($(i) == "allocs/op")  allocs = $(i - 1)
