@@ -19,13 +19,16 @@ test-race:
 	$(GO) test -race ./...
 
 # Blocking allocation-contract gate: deterministic testing.AllocsPerRun
-# tests (not benchmarks) asserting 0 allocs/op in steady state for the
-# simulator hot path — flow churn, batched same-instant fan-out, the full
-# water-filling pass — and for the partitioner's fmRefine. A named, blocking
-# CI step (`allocs` in ci.yml); a regression fails the build, not just the
-# nightly bench trend.
+# tests (not benchmarks) asserting steady-state allocation bounds for the
+# hot paths — the simulator's flow churn and water-filling, the
+# partitioner's fmRefine and DAG symmetrization, induced-subgraph
+# extraction with a warmed scratch, snapshot Install into pooled runtime
+# arenas, and the RGP window-partitioning pass. A named, blocking CI step
+# (`allocs` in ci.yml); a regression fails the build, not just the nightly
+# bench trend.
 test-allocs:
-	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/sim ./internal/partition
+	$(GO) test -run 'SteadyStateAllocs' -count=1 \
+		./internal/sim ./internal/partition ./internal/graph ./internal/rt ./internal/policy
 
 vet:
 	$(GO) vet ./...

@@ -83,5 +83,13 @@ func buildSnapshot(w workload.Workload, mc machine.Config) (*rt.Snapshot, error)
 	if err != nil {
 		return nil, fmt.Errorf("core: build %s: %w", w.Spec, err)
 	}
-	return rt.Snap(r)
+	snap, err := rt.Snap(r)
+	if err != nil {
+		return nil, err
+	}
+	// The snapshot copies task/region state and borrows only the TDG, which
+	// Release does not recycle — the prototype runtime's scratch can go back
+	// to the pool.
+	r.Release()
+	return snap, nil
 }

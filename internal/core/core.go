@@ -7,6 +7,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"numadag/internal/apps"
 	"numadag/internal/machine"
@@ -100,7 +101,67 @@ func runWith(cfg Config, w *workload.Workload, snap *rt.Snapshot) (RunResult, er
 	if err := r.AuditSchedule(); err != nil {
 		return RunResult{}, fmt.Errorf("core: %s/%s: %w", cfg.App, cfg.Policy, err)
 	}
+	if cfg.Runtime.Observer == nil {
+		// No observer means nothing outside this function saw a *Task or
+		// *Region: the audit has run, the Result slices are per-run, and the
+		// runtime's arenas can go back to the pool for the next cell.
+		r.Release()
+	}
 	return RunResult{Config: cfg, Stats: stats, Tasks: stats.TasksRun}, nil
+}
+
+// Runner runs configurations through the same audited path as Run while
+// memoizing resolved workloads and built task-graph snapshots across calls —
+// the persistent-service counterpart of one Experiment's per-grid cache.
+// Repeat runs of a (workload, machine) pair install the memoized snapshot
+// (bit-identical to rebuilding) instead of re-running the generator and
+// re-deriving dependences. A Runner is safe for concurrent use.
+type Runner struct {
+	cache *snapshotCache
+	mu    sync.Mutex
+	wls   map[string]workload.Workload
+}
+
+// NewRunner returns a Runner whose snapshot cache holds up to capacity
+// graphs; capacity <= 0 means an unbounded-in-practice default (the cache
+// evicts oldest-first beyond it).
+func NewRunner(capacity int) *Runner {
+	if capacity <= 0 {
+		capacity = 1 << 20
+	}
+	return &Runner{
+		cache: newSnapshotCache(capacity),
+		wls:   make(map[string]workload.Workload),
+	}
+}
+
+// Run executes one configuration, reusing cached workloads and snapshots.
+// Workloads that declare NoCache are rebuilt every call, exactly as in an
+// Experiment grid.
+func (rn *Runner) Run(cfg Config) (RunResult, error) {
+	key := fmt.Sprintf("%s@%s", cfg.App, cfg.Scale)
+	rn.mu.Lock()
+	w, ok := rn.wls[key]
+	rn.mu.Unlock()
+	if !ok {
+		var err error
+		if w, err = workload.New(cfg.App, cfg.Scale); err != nil {
+			return RunResult{}, err
+		}
+		rn.mu.Lock()
+		rn.wls[key] = w
+		rn.mu.Unlock()
+	}
+	if w.NoCache {
+		return runWith(cfg, &w, nil)
+	}
+	snap, err := rn.cache.get(cacheKey(w, cfg.Machine), func() (*rt.Snapshot, error) {
+		return buildSnapshot(w, cfg.Machine)
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	return runWith(cfg, nil, snap)
 }
 
 // Figure1Options tunes the Figure-1 reproduction.

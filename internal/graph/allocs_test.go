@@ -1,0 +1,30 @@
+package graph
+
+import (
+	"testing"
+
+	"numadag/internal/xrand"
+)
+
+// Allocation-contract test for the window-pipeline hot path, run as a
+// blocking deterministic test by `make test-allocs` alongside the sim and
+// partition gates: with a warmed SubgraphScratch, extracting an induced
+// subgraph — index stamping, slab carving, both fill passes — must not
+// allocate.
+func TestInducedSubgraphSteadyStateAllocs(t *testing.T) {
+	r := xrand.New(3)
+	const n = 1500
+	g := randomDAG(r, n, 4*n)
+	nodes := make([]NodeID, 0, n/2)
+	for _, v := range r.Perm(n)[: n/2 : n/2] {
+		nodes = append(nodes, NodeID(v))
+	}
+	sc := &SubgraphScratch{}
+	g.InducedSubgraphInto(sc, nodes) // warm the scratch
+	avg := testing.AllocsPerRun(20, func() {
+		g.InducedSubgraphInto(sc, nodes)
+	})
+	if avg != 0 {
+		t.Fatalf("InducedSubgraphInto allocates %v objects per op in steady state, want 0", avg)
+	}
+}

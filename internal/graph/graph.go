@@ -5,6 +5,17 @@
 // reduction. Node weights carry computational work; edge weights carry the
 // bytes a dependency communicates, which is exactly the weighting §2.2 of
 // the paper feeds to the partitioner.
+//
+// The hot extraction path is allocation-free in steady state: a
+// SubgraphScratch owns an epoch-stamped dense node index (one int32 array
+// the size of the source graph, invalidated by bumping an epoch counter
+// instead of clearing) plus reusable CSR-style slabs that back every
+// adjacency list of the extracted DAG. InducedSubgraphInto carves each
+// list with exact capacity, so appending to one list (or to the source
+// graph afterwards) can never clobber a neighbor's storage. The produced
+// adjacency order is identical to incremental AddEdge construction —
+// sorted by sub-graph ID — so window partitioning over extracted subgraphs
+// stays bit-deterministic.
 package graph
 
 import (
@@ -334,27 +345,10 @@ func (g *DAG) WeaklyConnectedComponents() ([]int, int) {
 // InducedSubgraph returns the subgraph on the given nodes (in the given
 // order: subgraph ID i corresponds to nodes[i]) together with the mapping
 // back to the original IDs. Edges with both endpoints inside are preserved.
+// The result is independently owned; callers extracting many subgraphs on a
+// hot path should use InducedSubgraphInto with a reused SubgraphScratch.
 func (g *DAG) InducedSubgraph(nodes []NodeID) (*DAG, []NodeID) {
-	sub := NewWithCapacity(len(nodes))
-	toSub := make(map[NodeID]NodeID, len(nodes))
-	back := make([]NodeID, len(nodes))
-	for i, id := range nodes {
-		g.checkID(id)
-		if _, dup := toSub[id]; dup {
-			panic(fmt.Sprintf("graph: duplicate node %d in induced subgraph", id))
-		}
-		toSub[id] = NodeID(i)
-		back[i] = id
-		sub.AddNode(g.labels[id], g.nodeW[id])
-	}
-	for _, id := range nodes {
-		for _, h := range g.succ[id] {
-			if t, ok := toSub[h.to]; ok {
-				sub.AddEdge(toSub[id], t, h.w)
-			}
-		}
-	}
-	return sub, back
+	return g.InducedSubgraphInto(nil, nodes)
 }
 
 // TransitiveReduction removes every edge (u,v) for which another path

@@ -108,13 +108,21 @@ func (r *Region) HomeOfPage(i int) int16 { return r.homes[i] }
 // Unallocated bytes are not counted.
 func (r *Region) BytesOnSocket(sockets int) []int64 {
 	out := make([]int64, sockets)
+	r.AddBytesOnSocket(out)
+	return out
+}
+
+// AddBytesOnSocket accumulates, per socket, the bytes of this region homed
+// there into out, whose length must cover every socket. It is the
+// allocation-free form of BytesOnSocket for schedulers that query residency
+// once per task.
+func (r *Region) AddBytesOnSocket(out []int64) {
 	for i, h := range r.homes {
 		if h == Unallocated {
 			continue
 		}
 		out[h] += r.pageBytes(i)
 	}
-	return out
 }
 
 // AllocatedBytes returns the bytes with a home.
@@ -179,14 +187,18 @@ func (r *Region) Migrate(socket int) int64 {
 	return moved
 }
 
-// Manager owns the regions of one simulated application run.
+// Manager owns the regions of one simulated application run. A Manager can
+// be Reset and refilled: the Region structs and their page tables are kept
+// pointer-stable across resets, so a pooled runtime re-running the same
+// workload shape allocates no region state after the first run.
 type Manager struct {
 	sockets  int
 	pageSize int64
 	regions  []*Region
-	// perSocket[s] is the total bytes currently homed on socket s,
-	// maintained incrementally... (kept simple: recomputed on demand;
-	// region counts are small relative to accesses).
+	// pool holds every Region struct ever created, in ID order; regions is
+	// always pool[:n]. Reset just truncates, and Alloc revives pool entries
+	// (reusing their homes tables) before allocating fresh ones.
+	pool []*Region
 }
 
 // NewManager creates a Manager for a machine with the given socket count
@@ -227,11 +239,26 @@ func (m *Manager) Alloc(name string, bytes int64, placement Placement, homeSocke
 	if nPages == 0 {
 		nPages = 1
 	}
-	r := &Region{
-		id:        len(m.regions),
+	id := len(m.regions)
+	var r *Region
+	var homes []int16
+	if id < len(m.pool) {
+		r = m.pool[id]
+		if cap(r.homes) >= nPages {
+			homes = r.homes[:nPages]
+		}
+	} else {
+		r = &Region{}
+		m.pool = append(m.pool, r)
+	}
+	if homes == nil {
+		homes = make([]int16, nPages)
+	}
+	*r = Region{
+		id:        id,
 		name:      name,
 		bytes:     bytes,
-		homes:     make([]int16, nPages),
+		homes:     homes,
 		pageSize:  m.pageSize,
 		placement: placement,
 		mgr:       m,
@@ -255,8 +282,15 @@ func (m *Manager) Alloc(name string, bytes int64, placement Placement, homeSocke
 	default:
 		panic(fmt.Sprintf("memory: unknown placement %v", placement))
 	}
-	m.regions = append(m.regions, r)
+	m.regions = m.pool[:id+1]
 	return r
+}
+
+// Reset discards every region while keeping their structs and page tables
+// pooled for reuse by subsequent Allocs. Region pointers handed out before
+// the reset are recycled by those later Allocs and must not be retained.
+func (m *Manager) Reset() {
+	m.regions = m.pool[:0]
 }
 
 // TotalBytesOnSocket sums the homed bytes of every region per socket.

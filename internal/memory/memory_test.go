@@ -240,3 +240,65 @@ func TestPropertyInterleaveBalanced(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestResetReusesRegions(t *testing.T) {
+	m := NewManager(2)
+	a := m.Alloc("a", 10000, Deferred, 0)
+	b := m.Alloc("b", 5000, Interleave, 0)
+	a.Touch(1)
+	m.Reset()
+	if len(m.Regions()) != 0 {
+		t.Fatalf("Regions() after Reset: %d, want 0", len(m.Regions()))
+	}
+	a2 := m.Alloc("a2", 8000, Deferred, 0)
+	b2 := m.Alloc("b2", 5000, Home, 1)
+	if a2 != a || b2 != b {
+		t.Fatal("Alloc after Reset did not revive the pooled Region structs")
+	}
+	if a2.ID() != 0 || a2.Name() != "a2" || a2.Bytes() != 8000 || a2.Allocated() {
+		t.Fatalf("revived region carries stale state: id=%d name=%q bytes=%d allocated=%v",
+			a2.ID(), a2.Name(), a2.Bytes(), a2.Allocated())
+	}
+	for i := 0; i < b2.Pages(); i++ {
+		if b2.HomeOfPage(i) != 1 {
+			t.Fatalf("revived Home region: page %d homed on %d, want 1", i, b2.HomeOfPage(i))
+		}
+	}
+	c := m.Alloc("c", 1000, Deferred, 0)
+	if c == a || c == b {
+		t.Fatal("third Alloc reused a live region")
+	}
+}
+
+func TestAllocAfterResetSteadyStateAllocs(t *testing.T) {
+	m := NewManager(2)
+	build := func() {
+		m.Reset()
+		m.Alloc("x", 64<<10, Deferred, 0).Touch(0)
+		m.Alloc("y", 32<<10, Interleave, 0)
+		m.Alloc("z", 16<<10, Home, 1)
+	}
+	build() // warm the pool
+	avg := testing.AllocsPerRun(20, build)
+	if avg != 0 {
+		t.Fatalf("Alloc after Reset allocates %v objects per op, want 0", avg)
+	}
+}
+
+func TestAddBytesOnSocketMatchesBytesOnSocket(t *testing.T) {
+	m := NewManager(3)
+	r := m.Alloc("r", 10*DefaultPageSize+123, Interleave, 0)
+	want := r.BytesOnSocket(3)
+	got := make([]int64, 3)
+	got[0] = 7 // accumulates on top of existing values
+	r.AddBytesOnSocket(got)
+	for s := range want {
+		base := int64(0)
+		if s == 0 {
+			base = 7
+		}
+		if got[s] != want[s]+base {
+			t.Fatalf("socket %d: got %d, want %d", s, got[s], want[s]+base)
+		}
+	}
+}

@@ -119,12 +119,13 @@ func initialBisect(g *Graph, fixed []int32, t0 float64, kind InitialKind, rng *x
 			}
 			// Disconnected remainder (or no seed yet): pick the heaviest-
 			// gain-less free vertex at random to restart growth.
-			candidates := free[:0:0]
+			candidates := rf.initCand[:0]
 			for _, v := range free {
 				if part[v] == 1 {
 					candidates = append(candidates, v)
 				}
 			}
+			rf.initCand = candidates[:0]
 			if len(candidates) == 0 {
 				break
 			}

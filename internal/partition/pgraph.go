@@ -52,6 +52,10 @@ import (
 type Graph struct {
 	nw  []int64      // vertex weights
 	adj [][]neighbor // adjacency, deduplicated, no self-loops
+	// slab backs the adjacency lists carved by LoadDAG; reused across loads
+	// so repeated symmetrization (one per window) stops allocating once the
+	// slab has grown to the largest window seen.
+	slab []neighbor
 }
 
 type neighbor struct {
@@ -139,22 +143,60 @@ func (g *Graph) TotalEdgeWeight() int64 {
 // Zero node weights are lifted to 1 so balance constraints stay meaningful
 // for degenerate inputs.
 func FromDAG(d *graph.DAG) *Graph {
-	g := NewGraph(d.Len())
-	for v := 0; v < d.Len(); v++ {
-		w := d.NodeWeight(graph.NodeID(v))
+	g := &Graph{}
+	g.LoadDAG(d)
+	return g
+}
+
+// LoadDAG symmetrizes d into g, reusing g's vertex, adjacency-header and
+// edge-slab backing from previous loads — the allocation-free counterpart of
+// FromDAG for callers that symmetrize one window after another into a pooled
+// Graph. The previous load's contents are discarded.
+//
+// The result is identical to FromDAG's incremental AddEdge construction:
+// adjacency entries appear in the order a (From, To)-ordered edge scan would
+// append them. d must be acyclic (as every runtime TDG is) — a 2-cycle would
+// need the duplicate accumulation AddEdge performs and LoadDAG skips.
+func (g *Graph) LoadDAG(d *graph.DAG) {
+	n := d.Len()
+	if cap(g.nw) < n {
+		g.nw = make([]int64, n)
+		g.adj = make([][]neighbor, n)
+	}
+	g.nw = g.nw[:n]
+	g.adj = g.adj[:n]
+	total := 2 * d.Edges()
+	if cap(g.slab) < total {
+		g.slab = make([]neighbor, total)
+	}
+	// Carve each vertex's list with exact capacity (its degree in the
+	// symmetrized graph is out-degree + in-degree, since the DAG holds each
+	// dependency once), so a later AddEdge grows out of the slab instead of
+	// clobbering the next list.
+	off := 0
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		w := d.NodeWeight(id)
 		if w == 0 {
 			w = 1
 		}
 		g.nw[v] = w
+		deg := d.OutDegree(id) + d.InDegree(id)
+		g.adj[v] = g.slab[off : off : off+deg]
+		off += deg
 	}
-	for _, e := range d.EdgeList() {
-		w := e.Weight
-		if w == 0 {
-			w = 1
-		}
-		g.AddEdge(int(e.From), int(e.To), w)
+	// Fill in (From, To) edge order — each directed edge appends both halves,
+	// exactly as FromDAG's EdgeList+AddEdge loop used to.
+	for v := 0; v < n; v++ {
+		from := v
+		d.Succs(graph.NodeID(v), func(to graph.NodeID, w int64) {
+			if w == 0 {
+				w = 1
+			}
+			g.adj[from] = append(g.adj[from], neighbor{to: int32(to), w: w})
+			g.adj[to] = append(g.adj[to], neighbor{to: int32(from), w: w})
+		})
 	}
-	return g
 }
 
 // EdgeCut returns the total weight of edges whose endpoints lie in

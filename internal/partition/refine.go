@@ -26,6 +26,7 @@ type refiner struct {
 	initFront    []bool
 	initGain     []int64
 	initFrontier []int
+	initCand     []int
 	// k-way refinement scratch (refineKWay / refineKWayMapped).
 	conn    []int64
 	weights []int64

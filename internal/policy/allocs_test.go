@@ -1,0 +1,80 @@
+package policy
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"numadag/internal/machine"
+	"numadag/internal/rt"
+	"numadag/internal/sim"
+)
+
+// prepareRT builds an un-run, windows-heavy runtime for Prepare benchmarks:
+// Prepare only reads the submitted task graph, so one runtime serves every
+// measured call.
+func prepareRT(tb testing.TB, ws int) *rt.Runtime {
+	m := machine.New(machine.BullionS16(), sim.NewEngine())
+	r := rt.NewRuntime(m, NewRGPLAS(), rt.Options{WindowSize: ws, Seed: 1})
+	buildStencilLike(r, 12, 6) // 144 + 864 = 1008 tasks
+	return r
+}
+
+// TestRGPPrepareSteadyStateAllocs bounds the repartition-every-window
+// Prepare pass. The pooled prepare-state (subgraph scratch, symmetrized
+// graph, dense anchor/fixed buffers) removes the old per-window maps and
+// slices, leaving the per-call assign array, the distance matrix, and the
+// multilevel partitioner's own interior allocations (coarsening levels,
+// initial-bisection runs). The bound locks those in: a rebuild of the
+// per-window extraction path shows up as an order-of-magnitude jump.
+func TestRGPPrepareSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool randomizes caching under the race detector")
+	}
+	r := prepareRT(t, 64)
+	run := func() {
+		pol := rgpPrepareProbe.pol
+		pol.windowsCut = 0
+		pol.ready = false
+		pol.Prepare(r)
+	}
+	rgpPrepareProbe.pol = NewRGPRepartition()
+	for i := 0; i < 3; i++ {
+		run() // warm the prepare pool and the partitioner scratch
+	}
+	// The prepare state lives in a sync.Pool; disable GC so a collection
+	// mid-measure cannot drop the warmed scratch.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	// Measured ~3.1k allocs for 16 windows (~200/window), essentially all
+	// inside MapOnto. Reintroducing per-window maps or fresh subgraph/graph
+	// construction adds thousands more and trips the bound.
+	const limit = 3800
+	if avg := testing.AllocsPerRun(10, run); avg > limit {
+		t.Fatalf("RGP repartition Prepare allocates %.0f allocs/op, want <= %d", avg, limit)
+	}
+}
+
+// rgpPrepareProbe keeps the measured policy out of the AllocsPerRun closure
+// so the closure itself does not allocate.
+var rgpPrepareProbe struct{ pol *RGP }
+
+// BenchmarkRGPPrepare measures the window-partitioning pass on a
+// windows-heavy stencil TDG: single-window RGP+LAS and the
+// repartition-every-window ablation (16 windows of 64 tasks each).
+func BenchmarkRGPPrepare(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mk   func() *RGP
+	}{
+		{"first-window", NewRGPLAS},
+		{"repartition", NewRGPRepartition},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			r := prepareRT(b, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mode.mk().Prepare(r)
+			}
+		})
+	}
+}

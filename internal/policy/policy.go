@@ -7,6 +7,7 @@ package policy
 
 import (
 	"fmt"
+	"sync"
 
 	"numadag/internal/graph"
 	"numadag/internal/partition"
@@ -44,8 +45,10 @@ func (LAS) PickSocket(r *rt.Runtime, t *rt.Task) int {
 }
 
 // lasPick is LAS's socket choice, shared with the RGP propagation phase.
+// It reads residency through the runtime's scratch slice — one query per
+// scheduling decision, never retained.
 func lasPick(r *rt.Runtime, t *rt.Task) int {
-	res := r.ResidencyBytes(t)
+	res := r.ResidencyBytesScratch(t)
 	var best int64
 	for _, b := range res {
 		if b > best {
@@ -146,10 +149,27 @@ type RGP struct {
 	// "refine" spec parameters use.
 	Tune func(*partition.Options)
 
-	assign     map[graph.NodeID]int32
+	// assign[id] is the socket the window partitioning chose for task id, or
+	// -1 for tasks left to the propagation policy (dense by NodeID — the
+	// per-task PickSocket lookup and the anchor membership tests both hit it).
+	assign     []int32
 	ready      bool // simulated partition completed
 	windowsCut int
 }
+
+// prepScratch is the pooled prepare-state of RGP.Prepare: the induced-
+// subgraph scratch, the pooled symmetrized graph, and the dense per-window
+// buffers that replace the old per-window maps and slices. One scratch
+// serves all windows of a Prepare and is recycled across runs.
+type prepScratch struct {
+	sub   graph.SubgraphScratch
+	pg    partition.Graph
+	seenW []int32        // seenW[v] == w: v already anchored for window w
+	all   []graph.NodeID // anchors ++ window ids, reused per window
+	fixed []int32        // pinned-vertex array handed to MapOnto
+}
+
+var prepPool = sync.Pool{New: func() any { return &prepScratch{} }}
 
 // NewRGPLAS returns the paper's RGP+LAS configuration.
 func NewRGPLAS() *RGP { return &RGP{Propagate: PropagateLAS} }
@@ -170,7 +190,11 @@ func (p *RGP) Name() string {
 // latency for the first window. Ready tasks of the first window defer to
 // the temporary queue until that latency elapses.
 func (p *RGP) Prepare(r *rt.Runtime) {
-	p.assign = make(map[graph.NodeID]int32)
+	n := r.Graph().Len()
+	p.assign = make([]int32, n)
+	for i := range p.assign {
+		p.assign[i] = -1
+	}
 	nWindows := r.Windows()
 	if nWindows == 0 {
 		p.ready = true
@@ -181,33 +205,43 @@ func (p *RGP) Prepare(r *rt.Runtime) {
 	if p.Propagate == PropagateRepartition {
 		limit = nWindows
 	}
-	prev := make(map[graph.NodeID]int32) // assignments from earlier windows
+	sc := prepPool.Get().(*prepScratch)
+	defer prepPool.Put(sc)
+	if cap(sc.seenW) < n {
+		sc.seenW = make([]int32, n)
+	}
+	seenW := sc.seenW[:n]
+	for i := range seenW {
+		seenW[i] = -1
+	}
 	for w := 0; w < limit; w++ {
 		tasks := r.WindowTasks(w)
 		if len(tasks) == 0 {
 			continue
 		}
-		ids := make([]graph.NodeID, len(tasks))
-		for i, t := range tasks {
-			ids[i] = t.ID
-		}
 		// Anchor: include predecessor tasks from earlier windows as fixed
 		// vertices so the new window's partition aligns with decided work.
-		var anchors []graph.NodeID
+		// p.assign doubles as the earlier-window membership test: entries are
+		// only written after a window's MapOnto, so within window w it holds
+		// exactly the windows before it.
+		all := sc.all[:0]
 		if w > 0 {
-			seen := make(map[graph.NodeID]bool)
 			for _, t := range tasks {
 				r.Graph().Preds(t.ID, func(from graph.NodeID, _ int64) {
-					if _, done := prev[from]; done && !seen[from] {
-						seen[from] = true
-						anchors = append(anchors, from)
+					if p.assign[from] >= 0 && seenW[from] != int32(w) {
+						seenW[from] = int32(w)
+						all = append(all, from)
 					}
 				})
 			}
 		}
-		all := append(append([]graph.NodeID{}, anchors...), ids...)
-		sub, back := r.Graph().InducedSubgraph(all)
-		pg := partition.FromDAG(sub)
+		nAnchors := len(all)
+		for _, t := range tasks {
+			all = append(all, t.ID)
+		}
+		sc.all = all
+		sub, back := r.Graph().InducedSubgraphInto(&sc.sub, all)
+		sc.pg.LoadDAG(sub)
 		opt := p.Opt
 		if opt.Parts == 0 && opt.CoarsenTo == 0 {
 			opt = partition.DefaultOptions(r.Machine().Sockets())
@@ -216,23 +250,32 @@ func (p *RGP) Prepare(r *rt.Runtime) {
 		if p.Tune != nil {
 			p.Tune(&opt)
 		}
-		opt.Fixed = make([]int32, sub.Len())
-		for i := range opt.Fixed {
-			opt.Fixed[i] = -1
+		// With no anchors there is nothing to pin: nil Fixed takes the
+		// partitioner's unconstrained path, which is bit-identical to an
+		// all--1 array (every consumer tests fixed[v] >= 0). That keeps the
+		// single-window configurations free of the per-window Fixed fill.
+		opt.Fixed = nil
+		if nAnchors > 0 {
+			if cap(sc.fixed) < sub.Len() {
+				sc.fixed = make([]int32, sub.Len())
+			}
+			opt.Fixed = sc.fixed[:sub.Len()]
+			for i := range opt.Fixed {
+				opt.Fixed[i] = -1
+			}
+			for i := 0; i < nAnchors; i++ {
+				opt.Fixed[i] = p.assign[back[i]]
+			}
 		}
-		for i := range anchors {
-			opt.Fixed[i] = prev[back[i]]
-		}
-		part, _, err := partition.MapOnto(pg, arch, opt)
+		part, _, err := partition.MapOnto(&sc.pg, arch, opt)
 		if err != nil {
 			panic(fmt.Sprintf("policy: window %d partition failed: %v", w, err))
 		}
 		for i, id := range back {
-			if i < len(anchors) {
+			if i < nAnchors {
 				continue
 			}
 			p.assign[id] = part[i]
-			prev[id] = part[i]
 		}
 		p.windowsCut++
 	}
@@ -247,7 +290,7 @@ func (p *RGP) Prepare(r *rt.Runtime) {
 
 // PickSocket implements rt.Policy.
 func (p *RGP) PickSocket(r *rt.Runtime, t *rt.Task) int {
-	if s, ok := p.assign[t.ID]; ok {
+	if s := p.assign[t.ID]; s >= 0 {
 		if !p.ready {
 			return rt.DeferPlacement
 		}

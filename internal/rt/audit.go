@@ -52,7 +52,9 @@ func (r *Runtime) AuditSchedule() error {
 		}
 	}
 	// Core exclusivity: sort each core's tasks by start and check overlap.
-	perCore := make([][]*Task, r.mach.Cores())
+	// The per-core lists come from the runtime's pooled audit scratch.
+	r.auditCore = resetQueues(r.auditCore, r.mach.Cores())
+	perCore := r.auditCore
 	for _, t := range r.tasks {
 		perCore[t.Core] = append(perCore[t.Core], t)
 	}

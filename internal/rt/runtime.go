@@ -2,6 +2,8 @@ package rt
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"numadag/internal/graph"
 	"numadag/internal/machine"
@@ -68,16 +70,20 @@ type Runtime struct {
 	tracks map[int]*regionTrack // by region ID
 
 	// Queues.
-	sockQ  [][]*Task // per-socket FIFO
-	coreQ  [][]*Task // per-core FIFO (cyclic placement)
-	tempQ  []*Task   // temporary queue (deferred placement)
-	rrNext int       // cyclic core counter
+	sockQ []taskDeque // per-socket FIFO (back end feeds stealing)
+	coreQ []taskDeque // per-core FIFO (cyclic placement)
+	tempQ []*Task     // temporary queue (deferred placement)
+	// tempSpare is the retired tempQ buffer ReleaseDeferred swaps in, so
+	// draining the temporary queue recycles capacity instead of dropping it.
+	tempSpare []*Task
+	rrNext    int // cyclic core counter
 
 	coreBusy []bool
 	coreTask []*Task
 
 	running    bool
 	ranAlready bool
+	released   bool
 	remaining  int  // tasks not yet done
 	stealVeto  bool // policy forbids cross-socket stealing
 
@@ -87,10 +93,27 @@ type Runtime struct {
 	windowCount int
 
 	// Hot-path scratch, reused across calls (the runtime is single-threaded
-	// on the engine goroutine): per-home byte totals for read/write phases
-	// and the sorted victim list for cross-socket stealing.
+	// on the engine goroutine): per-home byte totals for read/write phases,
+	// per-socket residency for ResidencyBytesScratch, and the sorted victim
+	// list for cross-socket stealing.
 	scratchHome []int64
+	resScratch  []int64
 	victims     []stealVictim
+	// coreConts holds each core's persistent phase continuations: the
+	// execute -> read -> compute -> write -> complete chain used to allocate
+	// three closures per task; with one task per core at a time, per-core
+	// prebuilt continuations reading coreTask[core] are equivalent and
+	// allocation-free. The closures capture the Runtime pointer, which pool
+	// reuse keeps stable.
+	coreConts []coreCont
+	// Arena backing for Install and audit, recycled through the runtime pool:
+	// one slab of Task structs, one of task pointers, one for all successor
+	// lists, one for all access lists.
+	taskArena  []Task
+	succSlab   []*Task
+	accSlab    []Access
+	regScratch []*memory.Region
+	auditCore  [][]*Task
 	// barrierTask, when non-nil, is the synchronization task every
 	// subsequently submitted task must depend on (taskwait semantics).
 	barrierTask *Task
@@ -106,8 +129,13 @@ type Runtime struct {
 	stats Result
 }
 
+// runtimePool recycles released runtimes so a sweep's replicates reuse one
+// runtime's grow-only state (queues, arenas, region pool, continuations)
+// instead of re-growing it per cell.
+var runtimePool sync.Pool
+
 // NewRuntime creates a runtime over the machine, with its own memory
-// manager.
+// manager. It draws on the pool of Released runtimes when one is available.
 func NewRuntime(m *machine.Machine, pol Policy, opts Options) *Runtime {
 	if pol == nil {
 		panic("rt: nil policy")
@@ -115,27 +143,153 @@ func NewRuntime(m *machine.Machine, pol Policy, opts Options) *Runtime {
 	if opts.WindowSize < 0 || opts.PartitionCostPerTask < 0 {
 		panic("rt: negative option")
 	}
-	r := &Runtime{
-		mach:   m,
-		mem:    memory.NewManager(m.Sockets()),
-		pol:    pol,
-		opts:   opts,
-		rng:    xrand.New(opts.Seed),
-		tdg:    graph.New(),
-		tracks: make(map[int]*regionTrack),
-		sockQ:  make([][]*Task, m.Sockets()),
-		coreQ:  make([][]*Task, m.Cores()),
+	r, _ := runtimePool.Get().(*Runtime)
+	if r == nil {
+		r = &Runtime{}
 	}
-	r.coreBusy = make([]bool, m.Cores())
-	r.coreTask = make([]*Task, m.Cores())
-	r.scratchHome = make([]int64, m.Sockets())
-	r.victims = make([]stealVictim, 0, m.Sockets())
+	mem := r.mem
+	if mem == nil || mem.Sockets() != m.Sockets() || mem.PageSize() != memory.DefaultPageSize {
+		mem = memory.NewManager(m.Sockets())
+	} else {
+		mem.Reset()
+	}
+	rng := r.rng
+	if rng == nil {
+		rng = xrand.New(opts.Seed)
+	} else {
+		rng.Reseed(opts.Seed)
+	}
+	*r = Runtime{
+		mach:        m,
+		mem:         mem,
+		pol:         pol,
+		opts:        opts,
+		rng:         rng,
+		tdg:         graph.New(),
+		tasks:       r.tasks[:0],
+		sockQ:       resetDeques(r.sockQ, m.Sockets()),
+		coreQ:       resetDeques(r.coreQ, m.Cores()),
+		tempQ:       r.tempQ[:0],
+		tempSpare:   r.tempSpare[:0],
+		coreBusy:    resetSlice(r.coreBusy, m.Cores()),
+		coreTask:    resetSlice(r.coreTask, m.Cores()),
+		scratchHome: resetSlice(r.scratchHome, m.Sockets()),
+		resScratch:  resetSlice(r.resScratch, m.Sockets()),
+		victims:     r.victims[:0],
+		barrierIDs:  r.barrierIDs[:0],
+		coreConts:   r.coreConts,
+		taskArena:   r.taskArena,
+		succSlab:    r.succSlab,
+		accSlab:     r.accSlab,
+		regScratch:  r.regScratch,
+		auditCore:   r.auditCore,
+	}
+	// The per-run stats slices escape through the returned Result and must
+	// stay fresh; everything above is internal and safely recycled.
 	r.stats.BusyTime = make([]sim.Time, m.Cores())
 	r.stats.SocketTasks = make([]int, m.Sockets())
+	r.buildConts(m.Cores())
 	if v, ok := pol.(StealVeto); ok && v.VetoSteal() {
 		r.stealVeto = true
 	}
 	return r
+}
+
+// resetQueues resizes a queue-of-queues to n empty queues, keeping every
+// inner backing array.
+func resetQueues(qs [][]*Task, n int) [][]*Task {
+	if cap(qs) < n {
+		return make([][]*Task, n)
+	}
+	qs = qs[:n]
+	for i := range qs {
+		qs[i] = qs[i][:0]
+	}
+	return qs
+}
+
+// taskDeque is a reusable double-ended task queue: FIFO dispatch pops the
+// front, work stealing robs the back. Popped front slots are reclaimed by
+// compacting in place rather than re-slicing the head away, so a pooled
+// runtime's queues stop allocating once grown to a run's high-water mark.
+type taskDeque struct {
+	buf  []*Task
+	head int
+}
+
+func (q *taskDeque) len() int { return len(q.buf) - q.head }
+
+func (q *taskDeque) pushBack(t *Task) {
+	if len(q.buf) == cap(q.buf) && q.head > 0 {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, t)
+}
+
+func (q *taskDeque) popFront() *Task {
+	t := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return t
+}
+
+func (q *taskDeque) popBack() *Task {
+	t := q.buf[len(q.buf)-1]
+	q.buf = q.buf[:len(q.buf)-1]
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return t
+}
+
+// resetDeques resizes a deque list to n empty deques, keeping every backing
+// array.
+func resetDeques(qs []taskDeque, n int) []taskDeque {
+	if cap(qs) < n {
+		return make([]taskDeque, n)
+	}
+	qs = qs[:n]
+	for i := range qs {
+		qs[i].buf = qs[i].buf[:0]
+		qs[i].head = 0
+	}
+	return qs
+}
+
+// resetSlice resizes s to n zeroed elements, reusing its backing array.
+func resetSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// Release returns the runtime's grow-only state to the package pool for
+// reuse by future NewRuntime calls. The caller must own the runtime
+// exclusively and retain no references to its tasks or regions afterwards —
+// in particular Release must not be used when an Observer was configured,
+// since observers typically hold *Task beyond the run. The per-run Result
+// (and its slices) remains valid. Release is a no-op on a second call.
+func (r *Runtime) Release() {
+	if r.running {
+		panic("rt: Release during Run")
+	}
+	if r.released {
+		return
+	}
+	r.released = true
+	runtimePool.Put(r)
 }
 
 // Machine returns the simulated machine.
@@ -230,17 +384,21 @@ func (r *Runtime) Windows() int {
 	return r.tasks[len(r.tasks)-1].Window + 1
 }
 
-// WindowTasks returns the tasks of window w in submission order.
+// WindowRange returns the half-open submission-index range [lo, hi) of
+// window w's tasks. Window values are non-decreasing in submission order
+// (both the count-based state machine and Barrier only ever advance the
+// window), so each window is one contiguous run of r.Tasks().
+func (r *Runtime) WindowRange(w int) (lo, hi int) {
+	lo = sort.Search(len(r.tasks), func(i int) bool { return r.tasks[i].Window >= w })
+	hi = sort.Search(len(r.tasks), func(i int) bool { return r.tasks[i].Window > w })
+	return lo, hi
+}
+
+// WindowTasks returns the tasks of window w in submission order. The result
+// is a sub-slice of the runtime's own task list; callers must not mutate it.
 func (r *Runtime) WindowTasks(w int) []*Task {
-	var out []*Task
-	for _, t := range r.tasks {
-		if t.Window == w {
-			out = append(out, t)
-		} else if t.Window > w {
-			break
-		}
-	}
-	return out
+	lo, hi := r.WindowRange(w)
+	return r.tasks[lo:hi]
 }
 
 // Submit registers a task, deriving its dependences from region accesses:
@@ -262,6 +420,9 @@ func (r *Runtime) Submit(spec TaskSpec) *Task {
 	}
 	if spec.Flops < 0 {
 		panic("rt: negative flops")
+	}
+	if r.tracks == nil {
+		r.tracks = make(map[int]*regionTrack)
 	}
 	id := r.tdg.AddNode(spec.Label, int64(spec.Flops))
 	t := &Task{
@@ -336,9 +497,21 @@ func (r *Runtime) Submit(spec TaskSpec) *Task {
 func (r *Runtime) ResidencyBytes(t *Task) []int64 {
 	out := make([]int64, r.mach.Sockets())
 	for _, a := range t.Accesses {
-		for s, b := range a.Region.BytesOnSocket(r.mach.Sockets()) {
-			out[s] += b
-		}
+		a.Region.AddBytesOnSocket(out)
+	}
+	return out
+}
+
+// ResidencyBytesScratch is ResidencyBytes into a runtime-owned scratch
+// slice, valid only until the next call — the allocation-free form policies
+// use when querying residency once per task.
+func (r *Runtime) ResidencyBytesScratch(t *Task) []int64 {
+	out := r.resScratch
+	for i := range out {
+		out[i] = 0
+	}
+	for _, a := range t.Accesses {
+		a.Region.AddBytesOnSocket(out)
 	}
 	return out
 }
@@ -346,10 +519,10 @@ func (r *Runtime) ResidencyBytes(t *Task) []int64 {
 // QueueLen returns the number of tasks queued on a socket (socket queue
 // plus the core queues of its cores).
 func (r *Runtime) QueueLen(socket int) int {
-	n := len(r.sockQ[socket])
+	n := r.sockQ[socket].len()
 	lo, hi := r.mach.CoresOf(socket)
 	for c := lo; c < hi; c++ {
-		n += len(r.coreQ[c])
+		n += r.coreQ[c].len()
 	}
 	return n
 }
@@ -362,7 +535,8 @@ func (r *Runtime) At(d sim.Time, fn func()) { r.mach.Engine().After(d, fn) }
 // policy. Policies call it when a pending partition completes.
 func (r *Runtime) ReleaseDeferred() {
 	pending := r.tempQ
-	r.tempQ = nil
+	r.tempQ = r.tempSpare[:0]
+	r.tempSpare = pending[:0]
 	for _, t := range pending {
 		t.state = stateReady
 		r.place(t)
@@ -421,7 +595,7 @@ func (r *Runtime) place(t *Task) {
 		core := r.rrNext % r.mach.Cores()
 		r.rrNext++
 		t.state = stateQueued
-		r.coreQ[core] = append(r.coreQ[core], t)
+		r.coreQ[core].pushBack(t)
 		if !r.coreBusy[core] {
 			r.dispatch(core)
 		} else if r.opts.Steal {
@@ -431,7 +605,7 @@ func (r *Runtime) place(t *Task) {
 	case pick >= 0 && pick < r.mach.Sockets():
 		t.pickedBy = pick
 		t.state = stateQueued
-		r.sockQ[pick] = append(r.sockQ[pick], t)
+		r.sockQ[pick].pushBack(t)
 		lo, hi := r.mach.CoresOf(pick)
 		for c := lo; c < hi; c++ {
 			if !r.coreBusy[c] {
@@ -476,16 +650,12 @@ func (r *Runtime) dispatch(core int) {
 type stealVictim struct{ s, d int }
 
 func (r *Runtime) pickWork(core int) *Task {
-	if q := r.coreQ[core]; len(q) > 0 {
-		t := q[0]
-		r.coreQ[core] = q[1:]
-		return t
+	if q := &r.coreQ[core]; q.len() > 0 {
+		return q.popFront()
 	}
 	s := r.mach.SocketOf(core)
-	if q := r.sockQ[s]; len(q) > 0 {
-		t := q[0]
-		r.sockQ[s] = q[1:]
-		return t
+	if q := &r.sockQ[s]; q.len() > 0 {
+		return q.popFront()
 	}
 	// Intra-socket steal from sibling core queues: no NUMA cost, always on.
 	lo, hi := r.mach.CoresOf(s)
@@ -493,10 +663,8 @@ func (r *Runtime) pickWork(core int) *Task {
 		if c == core {
 			continue
 		}
-		if q := r.coreQ[c]; len(q) > 0 {
-			t := q[len(q)-1]
-			r.coreQ[c] = q[:len(q)-1]
-			return t
+		if q := &r.coreQ[c]; q.len() > 0 {
+			return q.popBack()
 		}
 	}
 	if !r.opts.Steal || r.stealVeto {
@@ -511,6 +679,7 @@ func (r *Runtime) pickWork(core int) *Task {
 			victims = append(victims, stealVictim{s: v, d: r.mach.Hops(s, v)})
 		}
 	}
+	r.victims = victims
 	for i := 1; i < len(victims); i++ {
 		for j := i; j > 0 && (victims[j].d < victims[j-1].d ||
 			(victims[j].d == victims[j-1].d && victims[j].s < victims[j-1].s)); j-- {
@@ -522,18 +691,16 @@ func (r *Runtime) pickWork(core int) *Task {
 		if r.QueueLen(v.s) < minBacklog {
 			continue
 		}
-		if q := r.sockQ[v.s]; len(q) > 0 {
-			t := q[len(q)-1] // steal the youngest: oldest stays local
-			r.sockQ[v.s] = q[:len(q)-1]
+		if q := &r.sockQ[v.s]; q.len() > 0 {
+			t := q.popBack() // steal the youngest: oldest stays local
 			t.Stolen = true
 			r.stats.Steals++
 			return t
 		}
 		vlo, vhi := r.mach.CoresOf(v.s)
 		for c := vlo; c < vhi; c++ {
-			if q := r.coreQ[c]; len(q) > 0 {
-				t := q[len(q)-1]
-				r.coreQ[c] = q[:len(q)-1]
+			if q := &r.coreQ[c]; q.len() > 0 {
+				t := q.popBack()
 				t.Stolen = true
 				r.stats.Steals++
 				return t
@@ -541,6 +708,59 @@ func (r *Runtime) pickWork(core int) *Task {
 		}
 	}
 	return nil
+}
+
+// coreCont is one core's persistent execution state machine: the phase
+// continuations of the read -> compute -> write -> complete chain, built
+// once per core, plus the in-flight transfer countdown of the current
+// phase. A core runs one task at a time, so per-task closures are
+// unnecessary — each continuation finds its task in coreTask[core].
+type coreCont struct {
+	pending int    // transfers still in flight for the current phase
+	done    func() // continuation once the current phase's transfers land
+
+	afterRead    func() // schedules the compute phase
+	afterCompute func() // runs the write phase
+	afterWrite   func() // completes the task
+	onTransfer   func() // counts one transfer down, firing done at zero
+}
+
+// buildConts sizes coreConts for the machine and builds the continuations
+// of any core that lacks them. The closures capture the Runtime pointer
+// itself (stable across pool reuse), never a task.
+func (r *Runtime) buildConts(cores int) {
+	if cap(r.coreConts) < cores {
+		cc := make([]coreCont, cores)
+		copy(cc, r.coreConts)
+		r.coreConts = cc
+	} else {
+		r.coreConts = r.coreConts[:cores]
+	}
+	for c := range r.coreConts {
+		if r.coreConts[c].afterRead != nil {
+			r.coreConts[c].pending = 0
+			r.coreConts[c].done = nil
+			continue
+		}
+		c := c
+		r.coreConts[c].afterRead = func() {
+			t := r.coreTask[c]
+			r.mach.Engine().After(r.mach.ComputeTime(t.Flops), r.coreConts[c].afterCompute)
+		}
+		r.coreConts[c].afterCompute = func() {
+			r.writePhase(c, r.coreTask[c], r.coreConts[c].afterWrite)
+		}
+		r.coreConts[c].afterWrite = func() {
+			r.complete(c, r.coreTask[c])
+		}
+		r.coreConts[c].onTransfer = func() {
+			cc := &r.coreConts[c]
+			cc.pending--
+			if cc.pending == 0 {
+				cc.done()
+			}
+		}
+	}
 }
 
 // execute runs a task on a core: read phase (fetch inputs), compute phase,
@@ -558,13 +778,7 @@ func (r *Runtime) execute(core int, t *Task) {
 		r.opts.Observer.TaskStart(t)
 	}
 
-	r.readPhase(core, t, func() {
-		r.mach.Engine().After(r.mach.ComputeTime(t.Flops), func() {
-			r.writePhase(core, t, func() {
-				r.complete(core, t)
-			})
-		})
-	})
+	r.readPhase(core, t, r.coreConts[core].afterRead)
 }
 
 // readPhase fetches every input byte from its home socket, concurrently.
@@ -583,11 +797,9 @@ func (r *Runtime) readPhase(core int, t *Task, done func()) {
 		if !a.Region.Allocated() {
 			a.Region.Touch(socket)
 		}
-		for s, b := range a.Region.BytesOnSocket(r.mach.Sockets()) {
-			perHome[s] += b
-		}
+		a.Region.AddBytesOnSocket(perHome)
 	}
-	r.fanOutTransfers(socket, perHome, done)
+	r.fanOutTransfers(core, socket, perHome, done)
 }
 
 // writePhase stores outputs to their home sockets. Unallocated output pages
@@ -606,17 +818,18 @@ func (r *Runtime) writePhase(core int, t *Task, done func()) {
 		if !a.Region.Allocated() {
 			a.Region.Touch(socket)
 		}
-		for s, b := range a.Region.BytesOnSocket(r.mach.Sockets()) {
-			perHome[s] += b
-		}
+		a.Region.AddBytesOnSocket(perHome)
 	}
-	r.fanOutTransfers(socket, perHome, done)
+	r.fanOutTransfers(core, socket, perHome, done)
 }
 
 // fanOutTransfers launches one transfer per non-empty home socket and calls
 // done when all land. Zero total bytes completes immediately (synchronously,
-// keeping zero-work tasks cheap for the event queue).
-func (r *Runtime) fanOutTransfers(execSocket int, perHome []int64, done func()) {
+// keeping zero-work tasks cheap for the event queue). The countdown lives in
+// the core's coreCont — a core has at most one phase in flight, so its
+// prebuilt onTransfer continuation replaces a per-transfer closure.
+func (r *Runtime) fanOutTransfers(core, execSocket int, perHome []int64, done func()) {
+	cc := &r.coreConts[core]
 	pendingTransfers := 0
 	for _, b := range perHome {
 		if b > 0 {
@@ -627,6 +840,8 @@ func (r *Runtime) fanOutTransfers(execSocket int, perHome []int64, done func()) 
 		done()
 		return
 	}
+	cc.pending = pendingTransfers
+	cc.done = done
 	for home, b := range perHome {
 		if b == 0 {
 			continue
@@ -638,12 +853,7 @@ func (r *Runtime) fanOutTransfers(execSocket int, perHome []int64, done func()) 
 			r.stats.RemoteBytes += b
 			r.stats.RemoteByteHops += int64(hops) * b
 		}
-		r.mach.Transfer(home, execSocket, b, func() {
-			pendingTransfers--
-			if pendingTransfers == 0 {
-				done()
-			}
-		})
+		r.mach.Transfer(home, execSocket, b, cc.onTransfer)
 	}
 }
 

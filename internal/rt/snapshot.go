@@ -110,13 +110,38 @@ func (s *Snapshot) Install(r *Runtime) {
 	if len(r.tasks) != 0 || len(r.mem.Regions()) != 0 {
 		panic("rt: Install into a non-fresh runtime")
 	}
-	regs := make([]*memory.Region, len(s.regions))
+	if cap(r.regScratch) < len(s.regions) {
+		r.regScratch = make([]*memory.Region, len(s.regions))
+	}
+	regs := r.regScratch[:len(s.regions)]
 	for i, rp := range s.regions {
 		regs[i] = r.mem.Alloc(rp.name, rp.bytes, rp.placement, rp.home)
 	}
 	n := len(s.tasks)
-	arena := make([]Task, n)
-	tasks := make([]*Task, n)
+	// Tasks come out of the runtime's pooled arena: one slab of Task structs,
+	// one of pointers, one backing every access list, one backing every
+	// successor list. All are fully overwritten below, so recycling cannot
+	// leak state between runs.
+	if cap(r.taskArena) < n {
+		r.taskArena = make([]Task, n)
+	}
+	arena := r.taskArena[:n]
+	if cap(r.tasks) < n {
+		r.tasks = make([]*Task, n)
+	}
+	tasks := r.tasks[:n]
+	nAcc := 0
+	for i := range s.tasks {
+		nAcc += len(s.tasks[i].accesses)
+	}
+	if cap(r.accSlab) < nAcc {
+		r.accSlab = make([]Access, nAcc)
+	}
+	accSlab, accOff := r.accSlab[:nAcc], 0
+	if cap(r.succSlab) < s.tdg.Edges() {
+		r.succSlab = make([]*Task, s.tdg.Edges())
+	}
+	succSlab, succOff := r.succSlab[:s.tdg.Edges()], 0
 	// Window state machine, replayed exactly as Submit/Barrier drive it.
 	ws := r.opts.WindowSize
 	curWindow, windowCount := 0, 0
@@ -134,7 +159,8 @@ func (s *Snapshot) Install(r *Runtime) {
 		t := &arena[i]
 		var acc []Access
 		if len(tp.accesses) > 0 {
-			acc = make([]Access, len(tp.accesses))
+			acc = accSlab[accOff : accOff+len(tp.accesses) : accOff+len(tp.accesses)]
+			accOff += len(tp.accesses)
 			for j, a := range tp.accesses {
 				acc[j] = Access{Region: regs[a.region], Mode: a.mode}
 			}
@@ -171,7 +197,8 @@ func (s *Snapshot) Install(r *Runtime) {
 		id := graph.NodeID(i)
 		tasks[i].nDeps = s.tdg.InDegree(id)
 		if d := s.tdg.OutDegree(id); d > 0 {
-			succ := make([]*Task, 0, d)
+			succ := succSlab[succOff : succOff : succOff+d]
+			succOff += d
 			s.tdg.Succs(id, func(to graph.NodeID, _ int64) { succ = append(succ, tasks[to]) })
 			tasks[i].succs = succ
 		}

@@ -3,6 +3,7 @@ package rt
 import (
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"numadag/internal/machine"
@@ -141,6 +142,47 @@ func TestSnapshotSharedAcrossRuns(t *testing.T) {
 		snap.Install(r)
 		if got := r.Run(); !reflect.DeepEqual(got, want) {
 			t.Fatalf("install %d diverged: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+// TestSnapshotConcurrentInstall installs one snapshot into independent
+// runtimes from many goroutines at once — the experiment worker pool's
+// access pattern. All runtimes share the captured *graph.DAG read-only;
+// under -race this pins the contract that Install and Run never write
+// through it (and that the runtime pool hands concurrent callers disjoint
+// runtimes).
+func TestSnapshotConcurrentInstall(t *testing.T) {
+	proto := newSnapRT(pinned(0), Options{})
+	buildMixed(proto, true)
+	snap, err := Snap(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{WindowSize: 4, Seed: 9, Steal: true, StealThreshold: 1}
+	direct := newSnapRT(cyclic{}, opts)
+	buildMixed(direct, true)
+	want := direct.Run()
+
+	const workers = 8
+	results := make([]Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				r := newSnapRT(cyclic{}, opts)
+				snap.Install(r)
+				results[w] = r.Run()
+				r.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, got := range results {
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("worker %d diverged: %+v vs %+v", w, got, want)
 		}
 	}
 }

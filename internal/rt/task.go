@@ -11,6 +11,24 @@
 //
 // Scheduling decisions are delegated to a Policy; the runtime owns
 // everything else. All execution is simulated and deterministic.
+//
+// # Arena recycling
+//
+// Runtimes are pooled: Release returns a runtime's grow-only state — task
+// and region arenas, successor/access slabs, queues, per-core continuation
+// closures, scratch — to a package pool NewRuntime draws from, so a sweep's
+// replicates stop allocating once the first run has grown everything to the
+// workload's high-water mark. Snapshot.Install carves all per-task storage
+// out of those arenas (one slab of Task structs, one backing every
+// successor list, one backing every access list) and fully overwrites each
+// slot, so recycling cannot leak state between runs. The two Result slices
+// and anything an Observer may retain escape the run and are therefore
+// always freshly allocated; Release is only legal when no Observer was
+// configured and the caller retains no *Task or *Region.
+//
+// Recycling never trades away determinism: a pooled runtime re-runs a
+// configuration bit-identically to a fresh one (queue order, RNG stream,
+// event schedule), which the determinism goldens in the root package pin.
 package rt
 
 import (

@@ -90,3 +90,7 @@ func mul64(x, y uint64) (hi, lo uint64) {
 	lo = x * y
 	return hi, lo
 }
+
+// Reseed resets the generator to the stream New(seed) would produce,
+// letting pooled owners reuse one Rand across runs.
+func (r *Rand) Reseed(seed uint64) { r.state = seed }

@@ -4,12 +4,15 @@
 # (or became non-zero when the baseline pins 0 — the simulator and refiner
 # zero-allocation contracts) fails the check. ns/op is reported for context
 # but never gates: wall-clock numbers are too machine-dependent for CI,
-# allocation counts are not.
+# allocation counts are not. ns/op drift beyond BENCH_NSOP_DRIFT_PCT percent
+# (default 25, 0 disables) is printed as a warning so large wall-clock swings
+# are visible in the nightly log without flaking the build.
 #
 # Usage: scripts/bench_check.sh candidate.json baseline.json
 set -e
 candidate="${1:?usage: bench_check.sh candidate.json baseline.json}"
 baseline="${2:?usage: bench_check.sh candidate.json baseline.json}"
+drift="${BENCH_NSOP_DRIFT_PCT:-25}"
 
 extract() {
   # name allocs_per_op, one per line; benchmarks without allocs are skipped.
@@ -22,8 +25,32 @@ extract() {
   '
 }
 
+extract_nsop() {
+  # name ns_per_op, one per line (ns_per_op directly follows name in the
+  # emitted JSON).
+  tr ',' '\n' < "$1" | tr -d ' "{}[]' | awk -F: '
+    $1 == "name"      { name = $2; sub(/-[0-9]+$/, "", name) }
+    $1 == "ns_per_op" { if (name != "") print name, $2; name = "" }
+  '
+}
+
 extract "$baseline" > /tmp/bench_base.$$
 extract "$candidate" > /tmp/bench_cand.$$
+
+# Warn-only wall-clock drift report.
+if [ "$drift" != "0" ]; then
+  extract_nsop "$baseline" > /tmp/bench_base_ns.$$
+  extract_nsop "$candidate" > /tmp/bench_cand_ns.$$
+  while read -r name ns; do
+    base=$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_base_ns.$$)
+    [ -z "$base" ] && continue
+    awk -v n="$name" -v a="$ns" -v b="$base" -v d="$drift" 'BEGIN {
+      if (b > 0 && (a > b * (1 + d / 100) || a < b * (1 - d / 100)))
+        printf "warning: ns/op drift: %s %s -> %s (> %s%%, not gating)\n", n, b, a, d
+    }'
+  done < /tmp/bench_cand_ns.$$
+  rm -f /tmp/bench_base_ns.$$ /tmp/bench_cand_ns.$$
+fi
 
 status=0
 while read -r name allocs; do
