@@ -23,12 +23,14 @@ test-race:
 # hot paths — the simulator's flow churn and water-filling, the
 # partitioner's fmRefine and DAG symmetrization, induced-subgraph
 # extraction with a warmed scratch, snapshot Install into pooled runtime
-# arenas, and the RGP window-partitioning pass. A named, blocking CI step
-# (`allocs` in ci.yml); a regression fails the build, not just the nightly
-# bench trend.
+# arenas, the RGP window-partitioning pass, a full audited cell through the
+# pooled machine/engine pair, and the cluster dispatcher's placement step.
+# A named, blocking CI step (`allocs` in ci.yml); a regression fails the
+# build, not just the nightly bench trend.
 test-allocs:
 	$(GO) test -run 'SteadyStateAllocs' -count=1 \
-		./internal/sim ./internal/partition ./internal/graph ./internal/rt ./internal/policy
+		./internal/sim ./internal/partition ./internal/graph ./internal/rt ./internal/policy \
+		./internal/core ./internal/cluster
 
 vet:
 	$(GO) vet ./...
@@ -70,13 +72,16 @@ bench-check:
 	rm -f BENCH_sim.new.json
 
 # Short coverage-guided fuzz of the FM refiner (gain-bucket vs heap
-# reference) and the fluid network's full-vs-incremental reallocation
-# contract (batched CSR/worklist fill vs the eager naive ladder). The seed
-# corpora also run in plain `make test`; CI uploads any new crashers as
+# reference), the fluid network's full-vs-incremental reallocation contract
+# (batched CSR/worklist fill vs the eager naive ladder), and the cluster's
+# arrival/dispatch loop (bursty same-instant arrivals, zero-length jobs and
+# tenant-skewed rates must never stall or reorder the shared clock). The
+# seed corpora also run in plain `make test`; CI uploads any new crashers as
 # workflow artifacts.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzFMRefine -fuzztime=15s ./internal/partition
 	$(GO) test -fuzz=FuzzReallocate -fuzztime=15s ./internal/sim
+	$(GO) test -fuzz=FuzzArrivals -fuzztime=15s ./internal/cluster
 
 # BENCH_sim.json is tracked (the perf trajectory across PRs) and must
 # survive a clean.

@@ -26,19 +26,25 @@ import (
 
 	"numadag"
 	"numadag/internal/apps"
+	"numadag/internal/cluster"
 	"numadag/internal/core"
 	"numadag/internal/machine"
 	"numadag/internal/rt"
+	"numadag/internal/sim"
 	"numadag/internal/workload"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/determinism.json")
 
-// goldenEntry is one (app, policy, seed) cell of the golden table.
+// goldenEntry is one (app, policy, seed) cell of the golden table. Cluster
+// cells additionally pin the completion stream digest; single-run cells
+// leave it zero (omitted from the JSON, keeping their serialized form
+// unchanged).
 type goldenEntry struct {
-	Makespan   int64   `json:"makespan_ns"`
-	Steps      uint64  `json:"engine_steps"`
-	TotalBytes float64 `json:"total_bytes"`
+	Makespan       int64   `json:"makespan_ns"`
+	Steps          uint64  `json:"engine_steps"`
+	TotalBytes     float64 `json:"total_bytes"`
+	CompletionHash uint64  `json:"completion_hash,omitempty"`
 }
 
 const goldenPath = "testdata/determinism.json"
@@ -91,6 +97,46 @@ func cellKey(app, pol string, seed uint64) string {
 	return fmt.Sprintf("%s/%s/seed%d", app, pol, seed)
 }
 
+// clusterGoldenConfig is the pinned service-mode scenario: a four-machine
+// fleet, three tenants covering all arrival processes, heterogeneous job
+// shapes including zero-task jobs, audited. Small enough to stay cheap,
+// busy enough that dispatch order, queueing and same-instant bursts all
+// influence the completion stream.
+func clusterGoldenConfig(dispatcher string, seed uint64) cluster.Config {
+	return cluster.Config{
+		Machines: 4,
+		Machine:  machine.TwoSocketXeon(),
+		Policy:   "LAS",
+		Runtime:  rt.DefaultOptions(),
+		Scale:    apps.Tiny,
+		Tenants: []cluster.Tenant{
+			{Name: "batch", Specs: []string{"forkjoin?depth=2&fanout=2", "random-layered?layers=3&width=4"},
+				Process: "poisson", Rate: 2000},
+			{Name: "interactive", Specs: []string{"noop?tasks=4&flops=4096"}, Process: "diurnal",
+				Rate: 3000, Amplitude: 0.5, Period: 200 * sim.Millisecond},
+			{Name: "cron", Specs: []string{"noop?tasks=0"}, Process: "trace",
+				Trace: []sim.Time{0, 0, sim.Millisecond}},
+		},
+		Jobs:       60,
+		Seed:       seed,
+		Dispatcher: dispatcher,
+		Audit:      true,
+	}
+}
+
+func runClusterCell(t testing.TB, dispatcher string, seed uint64) goldenEntry {
+	res, err := cluster.Run(clusterGoldenConfig(dispatcher, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return goldenEntry{
+		Makespan:       int64(res.Makespan),
+		Steps:          res.Steps,
+		TotalBytes:     res.TotalBytes,
+		CompletionHash: res.CompletionHash(),
+	}
+}
+
 func TestDeterminismGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden sweep is not short")
@@ -101,6 +147,14 @@ func TestDeterminismGolden(t *testing.T) {
 			for seed := uint64(1); seed <= 3; seed++ {
 				got[cellKey(app, pol, seed)] = runCell(t, app, pol, seed)
 			}
+		}
+	}
+	// Service-mode cells: the completion-stream digest pins arrival
+	// generation, dispatch decisions and shared-clock interleaving for both
+	// dispatcher families.
+	for _, disp := range []string{"kchoices?d=2", "idle"} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			got[cellKey("cluster", disp, seed)] = runClusterCell(t, disp, seed)
 		}
 	}
 	if *updateGolden {
@@ -152,6 +206,13 @@ func TestDeterminismRepeatable(t *testing.T) {
 			if a != b {
 				t.Errorf("%s/%s: two identical runs diverged: %+v vs %+v", app, pol, a, b)
 			}
+		}
+	}
+	for _, disp := range []string{"kchoices?d=2", "idle"} {
+		a := runClusterCell(t, disp, 7)
+		b := runClusterCell(t, disp, 7)
+		if a != b {
+			t.Errorf("cluster/%s: two identical runs diverged: %+v vs %+v", disp, a, b)
 		}
 	}
 }

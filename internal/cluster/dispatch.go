@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"numadag/internal/xrand"
+)
+
+// Dispatcher places arriving jobs on machines. Implementations must be
+// deterministic given their seeded rng and the Update call sequence: the
+// cluster calls Pick exactly once per arriving job, in arrival order, and
+// Update(m, +1) right after each placement / Update(m, -1) when a job
+// leaves machine m (both queued and running jobs count as load).
+type Dispatcher interface {
+	// Name returns the canonical spec string ("kchoices?d=2", "idle").
+	Name() string
+	// Init sizes the dispatcher for n machines and hands it its random
+	// stream. Called once before the first Pick.
+	Init(n int, rng *xrand.Rand)
+	// Pick returns the machine index for the next arriving job.
+	Pick() int
+	// Update adjusts machine m's load by delta (+1 on placement, -1 on
+	// job completion).
+	Update(m, delta int)
+}
+
+// NewDispatcher parses a dispatcher spec. Supported:
+//
+//	"kchoices"       power-of-d-choices with d=2
+//	"kchoices?d=K"   sample K machines uniformly, pick least loaded
+//	"idle"           least-loaded machine overall via an indexed min-heap
+func NewDispatcher(spec string) (Dispatcher, error) {
+	name, arg, hasArg := strings.Cut(spec, "?")
+	switch name {
+	case "kchoices":
+		d := 2
+		if hasArg {
+			key, val, ok := strings.Cut(arg, "=")
+			if !ok || key != "d" {
+				return nil, fmt.Errorf("cluster: kchoices takes only d=K, got %q", arg)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("cluster: bad kchoices d=%q", val)
+			}
+			d = n
+		}
+		return &KChoices{D: d}, nil
+	case "idle":
+		if hasArg {
+			return nil, fmt.Errorf("cluster: idle dispatcher takes no parameters, got %q", arg)
+		}
+		return &IdleHeap{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown dispatcher %q (kchoices, idle)", name)
+	}
+}
+
+// KChoices is the power-of-d-choices dispatcher: sample D machines
+// uniformly at random (with replacement) and place the job on the least
+// loaded of the sample, breaking ties toward the lowest machine index. The
+// classic result: d=2 already collapses queue-length tails compared with
+// uniform random placement, at O(d) cost per decision.
+type KChoices struct {
+	D    int
+	rng  *xrand.Rand
+	load []int
+}
+
+func (k *KChoices) Name() string {
+	return fmt.Sprintf("kchoices?d=%d", k.D)
+}
+
+func (k *KChoices) Init(n int, rng *xrand.Rand) {
+	k.rng = rng
+	k.load = make([]int, n)
+}
+
+func (k *KChoices) Pick() int {
+	best := k.rng.Intn(len(k.load))
+	for i := 1; i < k.D; i++ {
+		c := k.rng.Intn(len(k.load))
+		if k.load[c] < k.load[best] || (k.load[c] == k.load[best] && c < best) {
+			best = c
+		}
+	}
+	return best
+}
+
+func (k *KChoices) Update(m, delta int) {
+	k.load[m] += delta
+	if k.load[m] < 0 {
+		panic("cluster: kchoices load went negative")
+	}
+}
+
+// IdleHeap is the global least-loaded dispatcher: an indexed min-heap over
+// (load, machine index) gives O(log n) placement onto the machine with the
+// fewest jobs, preferring truly idle machines and breaking load ties toward
+// the lowest index — fully deterministic, no randomness consumed.
+type IdleHeap struct {
+	load []int // load per machine
+	heap []int // machine indices, heap-ordered by (load, index)
+	pos  []int // machine index -> position in heap
+}
+
+func (h *IdleHeap) Name() string { return "idle" }
+
+func (h *IdleHeap) Init(n int, rng *xrand.Rand) {
+	_ = rng // deterministic policy; keeps the stream untouched
+	h.load = make([]int, n)
+	h.heap = make([]int, n)
+	h.pos = make([]int, n)
+	for i := 0; i < n; i++ {
+		h.heap[i] = i
+		h.pos[i] = i
+	}
+}
+
+func (h *IdleHeap) less(a, b int) bool {
+	ma, mb := h.heap[a], h.heap[b]
+	if h.load[ma] != h.load[mb] {
+		return h.load[ma] < h.load[mb]
+	}
+	return ma < mb
+}
+
+func (h *IdleHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}
+
+func (h *IdleHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IdleHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h.less(l, least) {
+			least = l
+		}
+		if r < n && h.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}
+
+func (h *IdleHeap) Pick() int { return h.heap[0] }
+
+func (h *IdleHeap) Update(m, delta int) {
+	h.load[m] += delta
+	if h.load[m] < 0 {
+		panic("cluster: idle-heap load went negative")
+	}
+	i := h.pos[m]
+	if delta > 0 {
+		h.down(i)
+	} else {
+		h.up(i)
+	}
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"sort"
+
+	"numadag/internal/machine"
+	"numadag/internal/sim"
+)
+
+// IdealDC is the fluid-model comparator that normalizes cluster slowdowns.
+// It treats the fleet as one aggregate pool of compute capacity — no NUMA
+// topology, no interconnect, no dispatch, no queueing at a single machine —
+// and runs the same arrival sequence through egalitarian processor sharing:
+// at any instant the k in-flight jobs each receive min(one machine's full
+// compute rate, aggregateCapacity/k). A job's ideal response time is when
+// its total flops drain under that schedule.
+//
+// The per-job cap matters: a single job cannot use more than one machine in
+// the real cluster either, so an unloaded IdealDC reproduces a job's
+// dedicated-machine compute lower bound, and slowdown = real/ideal isolates
+// what queueing, dispatch, and NUMA contention cost on top of raw capacity.
+type IdealDC struct {
+	perJob   float64 // flops/ns a single job can draw (one machine)
+	capacity float64 // flops/ns of the whole fleet
+}
+
+// NewIdealDC sizes the fluid model for a fleet of n identical machines.
+func NewIdealDC(cfg *machine.Config, n int) *IdealDC {
+	perJob := float64(cfg.TotalCores()) * cfg.CoreFlops
+	return &IdealDC{perJob: perJob, capacity: perJob * float64(n)}
+}
+
+// idealJob is one job's fluid state: submit time and flops left to drain.
+type idealJob struct {
+	id   int
+	work float64
+}
+
+// Respond computes each job's ideal response time (completion - submit)
+// for the given arrival sequence, where work[i] is job i's total flops
+// (from Snapshot.TotalFlops). Returns one duration per job, >= 1ns, indexed
+// by job ID. Pure computation on floats and sim.Times — no engine involved.
+func (d *IdealDC) Respond(jobs []Job, work []float64) []sim.Time {
+	resp := make([]sim.Time, len(jobs))
+	active := make([]idealJob, 0, 16)
+	now := float64(0) // ns, as float to keep fluid drains exact-ish
+	i := 0
+	for i < len(jobs) || len(active) > 0 {
+		// Per-job drain rate under egalitarian sharing with a per-job cap.
+		rate := 0.0
+		if k := len(active); k > 0 {
+			rate = d.capacity / float64(k)
+			if rate > d.perJob {
+				rate = d.perJob
+			}
+		}
+		// Next event: either the soonest fluid completion or the next arrival.
+		nextArrival := -1.0
+		if i < len(jobs) {
+			nextArrival = float64(jobs[i].SubmitAt)
+		}
+		soonest := -1.0
+		if rate > 0 {
+			for _, j := range active {
+				t := now + j.work/rate
+				if soonest < 0 || t < soonest {
+					soonest = t
+				}
+			}
+		}
+		var next float64
+		switch {
+		case soonest >= 0 && (nextArrival < 0 || soonest <= nextArrival):
+			next = soonest
+		case nextArrival >= 0:
+			next = nextArrival
+		default:
+			return resp // nothing active, nothing arriving
+		}
+		if next < now {
+			next = now
+		}
+		// Drain all active jobs to `next`, retiring the ones that finish.
+		drained := (next - now) * rate
+		keep := active[:0]
+		for _, j := range active {
+			j.work -= drained
+			// Retire on residual work OR when the remaining drain time
+			// underflows float addition at the current clock — such a job can
+			// never push `next` forward, and keeping it would spin the loop.
+			if j.work <= 1e-9 || (rate > 0 && next+j.work/rate <= next) {
+				r := sim.Time(next) - jobs[j.id].SubmitAt
+				if r < 1 {
+					r = 1
+				}
+				resp[j.id] = r
+			} else {
+				keep = append(keep, j)
+			}
+		}
+		active = keep
+		now = next
+		// Admit every job arriving at this instant.
+		for i < len(jobs) && float64(jobs[i].SubmitAt) <= now {
+			w := work[jobs[i].ID]
+			if w <= 0 {
+				// Zero-work job: ideal response is the 1ns floor.
+				resp[jobs[i].ID] = 1
+			} else {
+				active = append(active, idealJob{id: jobs[i].ID, work: w})
+			}
+			i++
+		}
+		// Keep retirement order deterministic regardless of append order.
+		sort.Slice(active, func(a, b int) bool { return active[a].id < active[b].id })
+	}
+	return resp
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"numadag/internal/apps"
+	"numadag/internal/machine"
+	"numadag/internal/rt"
+)
+
+// TestPlainCellSteadyStateAllocs pins the machine-pool contract on top of
+// the runtime pool: once the per-config pools are warm, a full audited cell
+// through Runner.Run — acquire machine, install cached snapshot, simulate,
+// audit, release both — must not rebuild the machine (engine arena, Net,
+// resources, path tables: ~55 objects) or the runtime. What remains is the
+// genuinely per-run tail: policy construction, the escaping Result slices
+// and a handful of audit scratch — measured 11 allocs/op for a plain LAS
+// cell (44 for RGP, whose partitioner interior the ROADMAP still names
+// open). The bound leaves headroom over 11 but sits far below the ~55 a
+// rebuilt machine would cost again, so a pool regression trips it.
+func TestPlainCellSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool randomizes caching under the race detector")
+	}
+	rn := NewRunner(0)
+	cfg := Config{
+		App:     "jacobi",
+		Scale:   apps.Tiny,
+		Policy:  "LAS",
+		Machine: machine.TwoSocketXeon(),
+		Runtime: rt.DefaultOptions(),
+	}
+	cycle := func() {
+		if _, err := rn.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		cycle() // warm the snapshot cache and the machine/runtime pools
+	}
+	// Pools are sync.Pools; disable GC so a collection mid-measure cannot
+	// drop a warmed machine and charge its full reconstruction to one run.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const limit = 24
+	if avg := testing.AllocsPerRun(20, cycle); avg > limit {
+		t.Fatalf("plain cell allocates %.1f allocs/op in steady state, want <= %d", avg, limit)
+	}
+}

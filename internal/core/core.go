@@ -14,7 +14,6 @@ import (
 	"numadag/internal/metrics"
 	"numadag/internal/policy"
 	"numadag/internal/rt"
-	"numadag/internal/sim"
 	"numadag/internal/workload"
 )
 
@@ -80,8 +79,7 @@ func runWith(cfg Config, w *workload.Workload, snap *rt.Snapshot) (RunResult, er
 	if err != nil {
 		return RunResult{}, err
 	}
-	eng := sim.NewEngine()
-	m := machine.New(cfg.Machine, eng)
+	m := acquireMachine(cfg.Machine)
 	r := rt.NewRuntime(m, pol, cfg.Runtime)
 	if snap != nil {
 		snap.Install(r)
@@ -102,10 +100,12 @@ func runWith(cfg Config, w *workload.Workload, snap *rt.Snapshot) (RunResult, er
 		return RunResult{}, fmt.Errorf("core: %s/%s: %w", cfg.App, cfg.Policy, err)
 	}
 	if cfg.Runtime.Observer == nil {
-		// No observer means nothing outside this function saw a *Task or
-		// *Region: the audit has run, the Result slices are per-run, and the
-		// runtime's arenas can go back to the pool for the next cell.
+		// No observer means nothing outside this function saw a *Task, a
+		// *Region or the machine: the audit has run, the Result slices are
+		// per-run, and both the runtime's arenas and the machine/engine pair
+		// can go back to their pools for the next cell.
 		r.Release()
+		releaseMachine(m)
 	}
 	return RunResult{Config: cfg, Stats: stats, Tasks: stats.TasksRun}, nil
 }

@@ -236,6 +236,17 @@ func New(cfg Config, eng *sim.Engine) *Machine {
 	return m
 }
 
+// Reset rewinds the machine for a fresh run: the engine's clock and event
+// arena go back to zero (keeping the Net's registered flush hook) and the
+// fluid network drops all flows and utilization integrals. The precomputed
+// resource paths and the Config are untouched, so a pooled machine is
+// observationally identical to a newly constructed one — this is what lets
+// core recycle the machine/engine pair alongside the runtime pool.
+func (m *Machine) Reset() {
+	m.eng.Reset()
+	m.net.Reset()
+}
+
 // Config returns the machine description.
 func (m *Machine) Config() Config { return m.cfg }
 
@@ -321,6 +332,18 @@ func (m *Machine) ControllerUtilization() []float64 {
 		out[s] = mc.Utilization(m.eng.Now())
 	}
 	return out
+}
+
+// PortTraffic fills out (len Sockets) with each socket port's carried
+// bytes progressed to the current time. Paired samples bound a window:
+// (carried(t1) - carried(t0)) / (LinkBandwidth * (t1 - t0)) is the port's
+// utilization over [t0, t1] — how a shared-clock cluster job measures its
+// own interconnect pressure without resetting the machine.
+func (m *Machine) PortTraffic(out []float64) {
+	now := m.eng.Now()
+	for s, p := range m.ports {
+		out[s] = p.Carried(now)
+	}
 }
 
 // PortUtilization returns each socket interconnect port's average

@@ -87,6 +87,19 @@ type Runtime struct {
 	remaining  int  // tasks not yet done
 	stealVeto  bool // policy forbids cross-socket stealing
 
+	// Async-completion state (Start). onDone non-nil marks a runtime whose
+	// caller drives the engine externally — the cluster simulator, where many
+	// runtimes share one clock; startAt anchors its Makespan, which is a
+	// duration from job start rather than from the engine epoch, and asyncRun
+	// tells finishStats to window port utilization over [startAt, now] using
+	// the portBase traffic baseline sampled at Start (the machine's integrals
+	// are cumulative across the jobs that shared it).
+	onDone   func(Result)
+	startAt  sim.Time
+	asyncRun bool
+	portBase []float64
+	portNow  []float64
+
 	// Window bookkeeping: windows close on count (WindowSize) or at an
 	// explicit Barrier.
 	curWindow   int
@@ -176,6 +189,8 @@ func NewRuntime(m *machine.Machine, pol Policy, opts Options) *Runtime {
 		scratchHome: resetSlice(r.scratchHome, m.Sockets()),
 		resScratch:  resetSlice(r.resScratch, m.Sockets()),
 		victims:     r.victims[:0],
+		portBase:    r.portBase[:0],
+		portNow:     r.portNow[:0],
 		barrierIDs:  r.barrierIDs[:0],
 		coreConts:   r.coreConts,
 		taskArena:   r.taskArena,
@@ -575,6 +590,62 @@ func (r *Runtime) Run() Result {
 	return r.stats
 }
 
+// Start begins executing all submitted tasks without driving the engine:
+// the ready frontier is scheduled and done(result) fires from within the
+// engine's event stream when the last task completes. It is the
+// shared-clock counterpart of Run — a cluster simulation starts many
+// runtimes (one per in-flight job, each on its own machine) against one
+// engine and pumps that engine itself. The prologue is identical to Run's;
+// only the drain differs: Run pumps the engine and returns the result,
+// Start leaves pumping to the caller and delivers the result through done.
+//
+// A runtime with zero tasks completes immediately: done fires
+// synchronously, before Start returns. Like Run, Start can only be called
+// once; the runtime must not Submit afterwards.
+func (r *Runtime) Start(done func(Result)) {
+	if r.ranAlready {
+		panic("rt: Start on a runtime that already ran")
+	}
+	if done == nil {
+		panic("rt: Start with nil completion callback")
+	}
+	r.ranAlready = true
+	r.running = true
+	r.onDone = done
+	r.asyncRun = true
+	r.startAt = r.Now()
+	r.portBase = resetSlice(r.portBase, r.mach.Sockets())
+	r.mach.PortTraffic(r.portBase)
+	r.remaining = len(r.tasks)
+	if p, ok := r.pol.(Preparer); ok {
+		p.Prepare(r)
+	}
+	if r.remaining == 0 {
+		r.finishAsync()
+		return
+	}
+	// Make all dependency-free tasks ready at the current instant, in
+	// submission order.
+	for _, t := range r.tasks {
+		if t.nDeps == 0 {
+			r.makeReady(t)
+		}
+	}
+}
+
+// finishAsync finalizes a Start'ed run and delivers the result. running is
+// cleared before the callback so the receiver may immediately Release the
+// runtime or start a successor job on the same machine.
+func (r *Runtime) finishAsync() {
+	r.running = false
+	r.stats.Makespan = r.Now() - r.startAt
+	r.stats.TasksRun = len(r.tasks)
+	r.finishStats()
+	done := r.onDone
+	r.onDone = nil
+	done(r.stats)
+}
+
 func (r *Runtime) makeReady(t *Task) {
 	t.state = stateReady
 	t.ReadyAt = r.Now()
@@ -878,4 +949,7 @@ func (r *Runtime) complete(core int, t *Task) {
 		}
 	}
 	r.dispatch(core)
+	if r.remaining == 0 && r.onDone != nil {
+		r.finishAsync()
+	}
 }

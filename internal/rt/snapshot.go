@@ -92,6 +92,17 @@ func Snap(r *Runtime) (*Snapshot, error) {
 // Tasks returns the number of captured tasks.
 func (s *Snapshot) Tasks() int { return len(s.tasks) }
 
+// TotalFlops returns the summed compute work of the captured tasks — the
+// work volume the cluster simulator's IdealDC fluid model charges a job
+// built from this snapshot.
+func (s *Snapshot) TotalFlops() float64 {
+	var sum float64
+	for i := range s.tasks {
+		sum += s.tasks[i].flops
+	}
+	return sum
+}
+
 // Graph returns the captured task dependency graph. It is shared with every
 // runtime the snapshot is installed into and must not be mutated.
 func (s *Snapshot) Graph() *graph.DAG { return s.tdg }

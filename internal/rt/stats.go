@@ -85,6 +85,27 @@ func (r *Runtime) finishStats() {
 		mean := float64(sum) / float64(len(r.stats.BusyTime))
 		r.stats.LoadImbalance = float64(max)/mean - 1
 	}
+	if r.asyncRun {
+		// Shared-clock job: the machine's traffic integrals span every job
+		// that ran on it, so window the utilization over this job's own
+		// [startAt, now] against the baseline Start sampled. For a job
+		// starting at the epoch on a fresh machine this computes bit-exactly
+		// what PortUtilization would.
+		dur := float64(r.Now() - r.startAt)
+		r.portNow = resetSlice(r.portNow, len(r.portBase))
+		r.mach.PortTraffic(r.portNow)
+		for s := range r.portBase {
+			var u float64
+			if dur > 0 {
+				u = (r.portNow[s] - r.portBase[s]) / (r.mach.Config().LinkBandwidth * dur)
+			}
+			r.stats.MeanPortUtilization += u / float64(len(r.portBase))
+			if u > r.stats.MaxPortUtilization {
+				r.stats.MaxPortUtilization = u
+			}
+		}
+		return
+	}
 	ports := r.mach.PortUtilization()
 	for _, u := range ports {
 		r.stats.MeanPortUtilization += u / float64(len(ports))

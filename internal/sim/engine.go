@@ -378,3 +378,25 @@ func (e *Engine) RunUntil(deadline Time) bool {
 // Pending returns the number of queued events. Stopped timers leave the
 // queue immediately, so this is a live count, in O(1).
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// Reset rewinds the engine to time zero with an empty queue while keeping
+// its grown arena capacity and — crucially — its registered flushers, so a
+// pooled engine/machine pair can serve a fresh run without re-wiring the
+// Net's end-of-instant hook. Every slot generation is bumped, so Timer
+// handles from the previous run can never touch the recycled slots; a
+// stale Stop or Reschedule is a no-op exactly as if the event had fired.
+func (e *Engine) Reset() {
+	e.heap = e.heap[:0]
+	e.free = e.free[:0]
+	for i := range e.slots {
+		s := &e.slots[i]
+		s.fn = nil
+		s.pos = -1
+		s.gen++
+		e.free = append(e.free, int32(i))
+	}
+	e.now = 0
+	e.seq = 0
+	e.nSteps = 0
+	e.needFlush = false
+}

@@ -696,6 +696,33 @@ func (n *Net) finish(f *Flow) {
 	n.freeFlows = append(n.freeFlows, f)
 }
 
+// Reset returns the network to its initial state — no active flows, zeroed
+// resource integrals and traffic counters — while keeping the registered
+// resources, the recycled-Flow pool and every grown scratch buffer. It must
+// be paired with a reset of the driving engine (the parked completion
+// placeholder is abandoned here; the engine reset invalidates it wholesale).
+// Machine.Reset is the intended caller.
+func (n *Net) Reset() {
+	for _, f := range n.active {
+		f.finished = true
+		f.done = nil
+		f.path = nil
+		n.freeFlows = append(n.freeFlows, f)
+	}
+	n.active = n.active[:0]
+	for _, r := range n.resources {
+		r.flows = 0
+		r.carried = 0
+		r.rate = 0
+		r.lastUpdate = 0
+	}
+	n.nextFlow = 0
+	n.dirty = false
+	n.pending = Timer{}
+	n.dcounter = 0
+	n.TotalBytes = 0
+}
+
 // removeActive deletes f from the dense active slice, preserving the
 // ascending-ID order. Active counts are small (bounded by in-flight
 // transfers, at most a few per core), so the shift is cheaper than any

@@ -198,7 +198,43 @@ func forkJoinFactory(s Spec, scale apps.Scale, seed uint64) (Workload, error) {
 	return Workload{Build: build}, nil
 }
 
+// noopFactory builds a graph of independent tasks with no memory accesses
+// and (by default) zero flops — the degenerate job shape the cluster fuzz
+// harness throws at arrival bursts. tasks=0 is allowed: an empty graph
+// completes in zero simulated time, and the service-mode paths must survive
+// it without stalling the shared clock.
+func noopFactory(s Spec, scale apps.Scale, seed uint64) (Workload, error) {
+	if err := s.Only("tasks", "flops"); err != nil {
+		return Workload{}, err
+	}
+	tasks, err := s.Int("tasks", 1)
+	if err != nil {
+		return Workload{}, err
+	}
+	flops, err := s.Float("flops", 0)
+	if err != nil {
+		return Workload{}, err
+	}
+	if tasks < 0 || flops < 0 {
+		return Workload{}, fmt.Errorf("workload: noop: invalid parameters (tasks=%d flops=%g)", tasks, flops)
+	}
+	build := func(r *rt.Runtime) error {
+		for i := 0; i < tasks; i++ {
+			r.Submit(rt.TaskSpec{
+				Label:    fmt.Sprintf("noop%d", i),
+				Flops:    flops,
+				EPSocket: rt.NoEPHint,
+			})
+		}
+		return nil
+	}
+	return Workload{Build: build}, nil
+}
+
 func init() {
+	MustRegister("noop",
+		"independent no-access tasks, zero flops by default; tasks=0 allowed [tasks, flops]",
+		noopFactory)
 	MustRegister("random-layered",
 		"irregular layered random DAG [layers, width, fan, cv, bytes, flops, seed]",
 		randomLayeredFactory)

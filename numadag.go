@@ -48,6 +48,27 @@
 //	}
 //	table.Table().Write(os.Stdout)
 //
+// Quick start — service mode (online multi-tenant cluster):
+//
+//	res, err := numadag.RunCluster(numadag.ClusterConfig{
+//		Machines: 8,
+//		Machine:  numadag.TwoSocketXeon(),
+//		Policy:   "RGP+LAS",
+//		Runtime:  numadag.DefaultRuntimeOptions(),
+//		Scale:    numadag.ScaleTiny,
+//		Tenants: []numadag.ClusterTenant{
+//			{Name: "web", Specs: []string{"noop?tasks=4"}, Process: "poisson", Rate: 4000},
+//			{Name: "hpc", Specs: []string{"forkjoin?depth=5"}, Process: "diurnal",
+//				Rate: 500, Amplitude: 0.6, Period: 200 * numadag.Time(1e6)},
+//		},
+//		Jobs: 1000, Seed: 1, Dispatcher: "kchoices?d=2",
+//	})
+//	res.Stats.SummaryTable().Write(os.Stdout) // p50/p95/p99 slowdown vs IdealDC, per tenant
+//
+// Arrivals, dispatch and scheduling all derive from the one seed, so a
+// fixed-seed service run is bit-identical across repeats; cmd/dcsim is the
+// command-line driver.
+//
 // Quick start — workload specs:
 //
 // Wherever a benchmark name is accepted (Config.App, Experiment.Apps,
@@ -101,6 +122,7 @@ import (
 	"io"
 
 	"numadag/internal/apps"
+	"numadag/internal/cluster"
 	"numadag/internal/core"
 	"numadag/internal/graph"
 	"numadag/internal/machine"
@@ -399,3 +421,49 @@ type (
 // NewTraceRecorder returns an empty trace recorder; pass it in
 // RuntimeOptions.Observer.
 func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// Service mode: online multi-tenant cluster simulation (cmd/dcsim).
+type (
+	// ClusterConfig describes one service-mode run: a fleet of identical
+	// NUMA machines on one shared clock, tenants with open-loop arrival
+	// processes, a dispatcher, and the per-job scheduling policy.
+	ClusterConfig = cluster.Config
+	// ClusterTenant declares one tenant's workload mix and arrival process
+	// (poisson, diurnal or trace).
+	ClusterTenant = cluster.Tenant
+	// ClusterJob is one job of the arrival stream with its full service
+	// timeline (submit/start/end, machine, slowdown, per-run statistics).
+	ClusterJob = cluster.Job
+	// ClusterResult is a completed service-mode run.
+	ClusterResult = cluster.Result
+	// ClusterStats aggregates streaming response/slowdown distributions,
+	// per-tenant fairness and the utilization timeline.
+	ClusterStats = cluster.Stats
+	// Dispatcher places arriving jobs on fleet machines.
+	Dispatcher = cluster.Dispatcher
+	// Histogram is a merge-deterministic streaming quantile sketch with
+	// bounded relative error (used for the tail-latency metrics).
+	Histogram = metrics.Histogram
+)
+
+// RunCluster executes one service-mode simulation; per-job results stream
+// through the same sinks batch experiments use (the job's tenant is the
+// cell Variant, its arrival index the cell Index). A fixed seed makes the
+// run bit-identical across repeats and across ClusterConfig.Procs.
+func RunCluster(cfg ClusterConfig, sinks ...Sink) (*ClusterResult, error) {
+	return cluster.Run(cfg, sinks...)
+}
+
+// ClusterArrivals generates the first n jobs of the configured tenants'
+// merged arrival stream — useful for inspecting a scenario without running
+// it.
+func ClusterArrivals(tenants []ClusterTenant, seed uint64, n int) ([]ClusterJob, error) {
+	return cluster.Arrivals(tenants, seed, n)
+}
+
+// NewDispatcher parses a dispatcher spec ("kchoices?d=2", "idle").
+func NewDispatcher(spec string) (Dispatcher, error) { return cluster.NewDispatcher(spec) }
+
+// NewHistogram returns an empty streaming quantile sketch with the given
+// relative accuracy (0 < eps < 1).
+func NewHistogram(eps float64) *Histogram { return metrics.NewHistogram(eps) }
