@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race test-allocs bench bench-sim bench-json bench-check fuzz-smoke vet fmt-check ci clean
+.PHONY: build test test-short test-race test-allocs test-traced bench bench-sim bench-json bench-check fuzz-smoke vet fmt-check ci clean
 
 build:
 	$(GO) build ./...
@@ -23,14 +23,23 @@ test-race:
 # hot paths — the simulator's flow churn and water-filling, the
 # partitioner's fmRefine and DAG symmetrization, induced-subgraph
 # extraction with a warmed scratch, snapshot Install into pooled runtime
-# arenas, the RGP window-partitioning pass, a full audited cell through the
-# pooled machine/engine pair, and the cluster dispatcher's placement step.
-# A named, blocking CI step (`allocs` in ci.yml); a regression fails the
-# build, not just the nightly bench trend.
+# arenas, a full nil-observer simulated run (the tracing hooks must cost
+# nothing when no Observer is configured), the RGP window-partitioning
+# pass, a full audited cell through the pooled machine/engine pair, and the
+# cluster dispatcher's placement step. A named, blocking CI step (`allocs`
+# in ci.yml); a regression fails the build, not just the nightly bench
+# trend.
 test-allocs:
 	$(GO) test -run 'SteadyStateAllocs' -count=1 \
 		./internal/sim ./internal/partition ./internal/graph ./internal/rt ./internal/policy \
 		./internal/core ./internal/cluster
+
+# Traced-determinism gate: the full determinism golden sweep with a Tracer
+# attached to every cell must reproduce the untraced goldens byte for byte
+# (tracing observes, never perturbs). Env-gated because it duplicates the
+# whole sweep; CI runs it as its own blocking step after `allocs`.
+test-traced:
+	NUMADAG_TRACED_GOLDEN=1 $(GO) test -run 'TestDeterminismGoldenTraced' -count=1 .
 
 vet:
 	$(GO) vet ./...
@@ -44,7 +53,7 @@ fmt-check:
 # Mirrors the blocking steps of .github/workflows/ci.yml (the race job runs
 # in parallel there; fuzz-smoke is non-blocking and nightly.yml tracks the
 # benchmark trajectory).
-ci: fmt-check build vet test test-race test-allocs
+ci: fmt-check build vet test test-race test-allocs test-traced
 
 # Full benchmark families (paper figures + ablations).
 bench:

@@ -10,6 +10,8 @@
 //	dcsim -dispatcher idle -policy RGP+LAS -seed 7
 //	dcsim -tenants "web:poisson:4000:noop?tasks=4,hpc:diurnal:500:forkjoin?depth=5" -jobs 1000
 //	dcsim -machines 16 -machine bullion -jsonl jobs.jsonl
+//	dcsim -trace run.json            # Chrome trace (load in Perfetto)
+//	dcsim -http :8080                # live monitor: /status JSON, /trace
 //
 // The -tenants grammar is comma-separated tenant declarations of the form
 //
@@ -28,6 +30,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -38,6 +42,7 @@ import (
 	"numadag/internal/machine"
 	"numadag/internal/rt"
 	"numadag/internal/sim"
+	"numadag/internal/trace"
 )
 
 func main() {
@@ -55,6 +60,8 @@ func main() {
 		jsonlF   = flag.String("jsonl", "", "stream per-job results as JSON lines to this file")
 		csvF     = flag.String("csv", "", "stream per-job results as CSV to this file")
 		audit    = flag.Bool("audit", false, "audit every job's schedule against TDG semantics")
+		traceF   = flag.String("trace", "", "write a Chrome trace of the whole run to this file (load in Perfetto)")
+		httpF    = flag.String("http", "", "serve the live monitor on this address (e.g. :8080): /status JSON, /trace snapshot")
 	)
 	flag.Parse()
 
@@ -84,6 +91,21 @@ func main() {
 		Procs:      *procs,
 		Audit:      *audit,
 	}
+	if *traceF != "" || *httpF != "" {
+		// The monitor's /trace endpoint serves the tracer's snapshot, so
+		// -http implies tracing even without a -trace output file.
+		cfg.Trace = trace.NewTracer()
+	}
+	if *httpF != "" {
+		mon := cluster.NewMonitor(cfg.Trace)
+		cfg.Monitor = mon
+		ln, err := net.Listen("tcp", *httpF)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dcsim: live monitor on http://%s (/status, /trace)\n", ln.Addr())
+		go http.Serve(ln, mon.Handler())
+	}
 
 	var sinks []core.Sink
 	for _, out := range []struct {
@@ -107,6 +129,11 @@ func main() {
 	res, err := cluster.Run(cfg, sinks...)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceF != "" {
+		if err := cfg.Trace.WriteFile(*traceF); err != nil {
+			fatal(err)
+		}
 	}
 	if err := res.Stats.SummaryTable().Write(os.Stdout); err != nil {
 		fatal(err)

@@ -13,6 +13,7 @@
 //	figure1 -scale small -seeds 2
 //	figure1 -bars                # ASCII bar chart like the paper's figure
 //	figure1 -jsonl cells.jsonl   # stream per-cell results while running
+//	figure1 -trace cells.json    # Chrome trace of every grid cell (Perfetto)
 //	figure1 -apps "jacobi,forkjoin?depth=8&fanout=3" -scale small
 package main
 
@@ -24,6 +25,7 @@ import (
 
 	"numadag/internal/apps"
 	"numadag/internal/core"
+	"numadag/internal/trace"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func main() {
 		jsonlF   = flag.String("jsonl", "", "stream per-cell results as JSON lines to this file")
 		wsize    = flag.Int("window", 0, "override window size (0 = default 2048)")
 		appsFlag = flag.String("apps", "", "comma-separated workload specs (default: the eight paper benchmarks)")
+		traceF   = flag.String("trace", "", "write a Chrome trace of every grid cell to this file (load in Perfetto)")
 	)
 	flag.Parse()
 
@@ -51,6 +54,11 @@ func main() {
 	if *appsFlag != "" {
 		opt.Apps = strings.Split(*appsFlag, ",")
 	}
+	var tr *trace.Tracer
+	if *traceF != "" {
+		tr = trace.NewTracer()
+		opt.Trace = tr
+	}
 	var extra []core.Sink
 	if *jsonlF != "" {
 		f, err := os.Create(*jsonlF)
@@ -63,6 +71,11 @@ func main() {
 	table, err := core.Figure1(opt, extra...)
 	if err != nil {
 		fatal(err)
+	}
+	if tr != nil {
+		if err := tr.WriteFile(*traceF); err != nil {
+			fatal(err)
+		}
 	}
 	if *csvF != "" {
 		f, err := os.Create(*csvF)

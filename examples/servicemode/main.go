@@ -11,6 +11,12 @@
 // in placement. Slowdowns are normalized against the IdealDC fluid model
 // (aggregate fleet capacity, egalitarian sharing), so a slowdown of k means
 // the job took k times its capacity-only lower bound.
+//
+// The second run also demonstrates observability: a Tracer records every
+// task, transfer, flow and job as a Chrome trace (servicemode.json, load in
+// Perfetto), and a ClusterMonitor captures the same live snapshot the
+// dcsim -http endpoint serves. Tracing never perturbs the simulation — both
+// runs see the identical arrival stream and schedule.
 package main
 
 import (
@@ -30,7 +36,7 @@ func main() {
 	}
 
 	for _, disp := range []string{"kchoices?d=2", "idle"} {
-		res, err := numadag.RunCluster(numadag.ClusterConfig{
+		cfg := numadag.ClusterConfig{
 			Machines:   8,
 			Machine:    numadag.TwoSocketXeon(),
 			Policy:     "RGP+LAS",
@@ -40,7 +46,17 @@ func main() {
 			Jobs:       600,
 			Seed:       1,
 			Dispatcher: disp,
-		})
+		}
+		var mon *numadag.ClusterMonitor
+		if disp == "idle" {
+			// Trace the second run end to end and capture the live-monitor
+			// snapshot. To watch a run in progress instead, serve
+			// mon.Handler() on a listener (that is all dcsim -http does).
+			cfg.Trace = numadag.NewTracer()
+			mon = numadag.NewClusterMonitor(cfg.Trace)
+			cfg.Monitor = mon
+		}
+		res, err := numadag.RunCluster(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -49,6 +65,14 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println()
+		if cfg.Trace != nil {
+			if err := cfg.Trace.WriteFile("servicemode.json"); err != nil {
+				log.Fatal(err)
+			}
+			snap := mon.Snapshot()
+			fmt.Printf("traced run: %d spans -> servicemode.json (load in Perfetto); final monitor snapshot: %d jobs done, utilization %.2f\n\n",
+				cfg.Trace.Spans(), snap.JobsDone, snap.Utilization)
+		}
 	}
 	fmt.Println("command-line driver with the same knobs: go run ./cmd/dcsim -h")
 }

@@ -27,6 +27,7 @@ import (
 	"numadag/internal/policy"
 	"numadag/internal/rt"
 	"numadag/internal/sim"
+	"numadag/internal/trace"
 	"numadag/internal/workload"
 	"numadag/internal/xrand"
 )
@@ -85,6 +86,19 @@ type Config struct {
 	// Audit verifies every job's schedule against the TDG semantics after
 	// it completes (slower; on by default in tests).
 	Audit bool
+	// Observer optionally receives job lifecycle callbacks (submit,
+	// dispatch, start, complete) on the simulation goroutine. Observing
+	// never perturbs the run.
+	Observer Observer
+	// Trace optionally records the whole run — task/transfer/flow spans and
+	// link counters per machine (pids are fleet indices), job spans,
+	// dispatch instants and queue-depth counters — into a Chrome-trace
+	// sink. Traced runs skip the runtime pool (tracer observers hold *Task
+	// beyond each job).
+	Trace *trace.Tracer
+	// Monitor optionally publishes live snapshots of the run for the HTTP
+	// monitor (see Monitor).
+	Monitor *Monitor
 }
 
 // Result is a completed service-mode run.
@@ -154,14 +168,47 @@ type fleetRun struct {
 	eng      *sim.Engine
 	machines []*machine.Machine
 	disp     Dispatcher
+	sampler  CandidateSampler // disp's sampling view, nil if not implemented
 	snaps    map[string]*rt.Snapshot
 	jobs     []Job
 	queues   [][]int // job IDs waiting per machine
 	busy     []bool
 	pumping  []bool
 	stats    *Stats
+	obs      []Observer    // trace adapter, user observer, monitor — in order
+	machObs  []rt.Observer // per-machine tracer observers (nil when untraced)
 	done     int
 	err      error
+}
+
+// notifyDispatch/notifyStart/notifyComplete fan one job event out to the
+// configured observers.
+func (f *fleetRun) notifySubmit(j *Job) {
+	for _, o := range f.obs {
+		o.JobSubmit(j)
+	}
+}
+
+func (f *fleetRun) notifyDispatch(j *Job, queued int) {
+	var cands []int
+	if f.sampler != nil {
+		cands = f.sampler.LastCandidates()
+	}
+	for _, o := range f.obs {
+		o.JobDispatch(j, cands, queued)
+	}
+}
+
+func (f *fleetRun) notifyStart(j *Job, queued int) {
+	for _, o := range f.obs {
+		o.JobStart(j, queued)
+	}
+}
+
+func (f *fleetRun) notifyComplete(j *Job) {
+	for _, o := range f.obs {
+		o.JobComplete(j)
+	}
 }
 
 // prebuildSnapshots resolves every distinct workload spec in the stream and
@@ -241,11 +288,13 @@ func (f *fleetRun) arrive(id int) {
 		return
 	}
 	job := &f.jobs[id]
+	f.notifySubmit(job)
 	m := f.disp.Pick()
 	f.disp.Update(m, +1)
 	job.Machine = m
 	f.queues[m] = append(f.queues[m], id)
 	f.stats.sample(f.eng.Now(), 0, +1)
+	f.notifyDispatch(job, len(f.queues[m]))
 	f.pump(m)
 }
 
@@ -281,9 +330,15 @@ func (f *fleetRun) start(id, m int) {
 	}
 	opts := f.cfg.Runtime
 	opts.Seed = job.Seed
+	if opts.Observer == nil && f.machObs != nil {
+		opts.Observer = f.machObs[m]
+	}
 	r := rt.NewRuntime(f.machines[m], pol, opts)
 	f.snaps[job.Spec].Install(r)
 	job.StartAt = f.eng.Now()
+	// Notify before Start: a zero-task job completes synchronously inside
+	// Start, and JobStart must precede its JobComplete.
+	f.notifyStart(job, len(f.queues[m]))
 	r.Start(func(res rt.Result) { f.finish(r, id, m, res) })
 }
 
@@ -296,7 +351,12 @@ func (f *fleetRun) finish(r *rt.Runtime, id, m int, res rt.Result) {
 			f.err = err
 		}
 	}
-	r.Release()
+	if f.cfg.Runtime.Observer == nil && f.machObs == nil {
+		// The Release-vs-Observer contract: with any observer configured —
+		// the user's or the tracer's — *Task pointers outlive the job, so
+		// the runtime must not be recycled into the pool.
+		r.Release()
+	}
 	f.disp.Update(m, -1)
 	f.busy[m] = false
 	f.done++
@@ -307,6 +367,7 @@ func (f *fleetRun) finish(r *rt.Runtime, id, m int, res rt.Result) {
 	job.Slowdown = float64(response) / float64(job.Ideal)
 	f.stats.observe(job, response, job.Slowdown)
 	f.stats.sample(job.EndAt, -1, 0)
+	f.notifyComplete(job)
 	f.pump(m)
 }
 
@@ -373,8 +434,27 @@ func Run(cfg Config, sinks ...core.Sink) (*Result, error) {
 		pumping:  make([]bool, cfg.Machines),
 		stats:    newStats(cfg.Tenants, cfg.Machines),
 	}
+	if s, ok := disp.(CandidateSampler); ok {
+		f.sampler = s
+	}
 	for i := range f.machines {
 		f.machines[i] = machine.New(cfg.Machine, eng)
+	}
+	// Attach tracing after every machine exists: on the shared engine the
+	// tracer's sampling flushers must run after all network flushes.
+	if cfg.Trace != nil {
+		f.machObs = make([]rt.Observer, cfg.Machines)
+		for i, m := range f.machines {
+			f.machObs[i] = cfg.Trace.AttachMachine(m, i, fmt.Sprintf("machine %d", i))
+		}
+		f.obs = append(f.obs, &traceObserver{tr: cfg.Trace, cfg: &cfg})
+	}
+	if cfg.Observer != nil {
+		f.obs = append(f.obs, cfg.Observer)
+	}
+	if cfg.Monitor != nil {
+		cfg.Monitor.bind(f)
+		f.obs = append(f.obs, cfg.Monitor)
 	}
 	for i := range jobs {
 		id := jobs[i].ID

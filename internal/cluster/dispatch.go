@@ -58,6 +58,15 @@ func NewDispatcher(spec string) (Dispatcher, error) {
 	}
 }
 
+// CandidateSampler is implemented by dispatchers that consider a sampled
+// subset of machines per decision. LastCandidates returns the machines the
+// most recent Pick examined, in sampling order; the slice is reused by the
+// next Pick, so observers must copy what they keep. Deterministic
+// dispatchers that scan global state (IdleHeap) do not implement it.
+type CandidateSampler interface {
+	LastCandidates() []int
+}
+
 // KChoices is the power-of-d-choices dispatcher: sample D machines
 // uniformly at random (with replacement) and place the job on the least
 // loaded of the sample, breaking ties toward the lowest machine index. The
@@ -67,6 +76,7 @@ type KChoices struct {
 	D    int
 	rng  *xrand.Rand
 	load []int
+	cand []int // last Pick's samples, reused scratch (CandidateSampler)
 }
 
 func (k *KChoices) Name() string {
@@ -76,18 +86,26 @@ func (k *KChoices) Name() string {
 func (k *KChoices) Init(n int, rng *xrand.Rand) {
 	k.rng = rng
 	k.load = make([]int, n)
+	k.cand = make([]int, 0, k.D)
 }
 
 func (k *KChoices) Pick() int {
+	k.cand = k.cand[:0]
 	best := k.rng.Intn(len(k.load))
+	k.cand = append(k.cand, best)
 	for i := 1; i < k.D; i++ {
 		c := k.rng.Intn(len(k.load))
+		k.cand = append(k.cand, c)
 		if k.load[c] < k.load[best] || (k.load[c] == k.load[best] && c < best) {
 			best = c
 		}
 	}
 	return best
 }
+
+// LastCandidates implements CandidateSampler: the machines the last Pick
+// sampled, in order (reused scratch — copy to keep).
+func (k *KChoices) LastCandidates() []int { return k.cand }
 
 func (k *KChoices) Update(m, delta int) {
 	k.load[m] += delta

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+
+	"numadag/internal/sim"
+	"numadag/internal/trace"
+)
+
+// timelineTail bounds the utilization timeline slice a snapshot carries —
+// enough to plot recent occupancy without shipping the whole run history on
+// every /status poll.
+const timelineTail = 64
+
+// TenantSnapshot is one tenant's live tail-latency digest. Quantiles are
+// slowdown versus the IdealDC fluid model and are zero until the tenant has
+// completed at least one job.
+type TenantSnapshot struct {
+	Name string  `json:"name"`
+	Jobs int     `json:"jobs"`
+	Mean float64 `json:"mean,omitempty"`
+	P50  float64 `json:"p50,omitempty"`
+	P95  float64 `json:"p95,omitempty"`
+	P99  float64 `json:"p99,omitempty"`
+}
+
+// MonitorSnapshot is the immutable state a Monitor publishes after every
+// job event: in-flight and completed job counts, per-tenant streaming
+// slowdown quantiles, and the tail of the cluster occupancy timeline.
+type MonitorSnapshot struct {
+	Now         sim.Time         `json:"now_ns"`
+	JobsDone    int              `json:"jobs_done"`
+	JobsRunning int              `json:"jobs_running"`
+	JobsQueued  int              `json:"jobs_queued"`
+	Utilization float64          `json:"utilization"`
+	Fairness    float64          `json:"fairness"`
+	Tenants     []TenantSnapshot `json:"tenants"`
+	Timeline    []UtilPoint      `json:"timeline_tail"`
+}
+
+// Monitor publishes live service-mode state over HTTP while a cluster run
+// is in progress. The simulation goroutine rebuilds an immutable snapshot
+// after every job event and stores it through an atomic pointer, so HTTP
+// handlers read without locks and never block (or perturb) the simulation.
+// Configure it via Config.Monitor and serve Handler() on a listener of
+// your choice; /status returns the snapshot as JSON, /trace streams the
+// attached tracer's Chrome trace JSON so far.
+//
+// A Monitor observes one Run at a time.
+type Monitor struct {
+	tr   *trace.Tracer
+	snap atomic.Pointer[MonitorSnapshot]
+	f    *fleetRun // bound at Run start; touched only on the sim goroutine
+}
+
+var _ Observer = (*Monitor)(nil)
+
+// NewMonitor returns a monitor; tr may be nil, in which case /trace
+// reports 404 and only /status is live.
+func NewMonitor(tr *trace.Tracer) *Monitor { return &Monitor{tr: tr} }
+
+// bind attaches the monitor to a starting run and publishes the initial
+// (empty) snapshot.
+func (mo *Monitor) bind(f *fleetRun) {
+	mo.f = f
+	mo.publish()
+}
+
+// Snapshot returns the most recently published snapshot, or nil before the
+// run starts.
+func (mo *Monitor) Snapshot() *MonitorSnapshot { return mo.snap.Load() }
+
+// JobSubmit implements Observer.
+func (mo *Monitor) JobSubmit(j *Job) {}
+
+// JobDispatch implements Observer.
+func (mo *Monitor) JobDispatch(j *Job, candidates []int, queued int) { mo.publish() }
+
+// JobStart implements Observer.
+func (mo *Monitor) JobStart(j *Job, queued int) { mo.publish() }
+
+// JobComplete implements Observer.
+func (mo *Monitor) JobComplete(j *Job) { mo.publish() }
+
+// publish rebuilds the snapshot from the run's streaming statistics. It
+// runs on the simulation goroutine; everything stored is freshly built or
+// plain values, so readers need no synchronization beyond the pointer load.
+func (mo *Monitor) publish() {
+	f := mo.f
+	s := f.stats
+	snap := &MonitorSnapshot{
+		Now:         f.eng.Now(),
+		JobsDone:    s.All.Jobs,
+		JobsRunning: s.busyNow,
+		JobsQueued:  s.queueNow,
+		Utilization: s.MeanUtilization(),
+		Fairness:    s.Fairness(),
+		Tenants:     make([]TenantSnapshot, 0, len(s.Tenants)+1),
+	}
+	digest := func(t *TenantStats) {
+		ts := TenantSnapshot{Name: t.Name, Jobs: t.Jobs}
+		if t.Jobs > 0 { // quantiles of an empty histogram are NaN — not JSON
+			ts.Mean = t.Slowdown.Mean()
+			ts.P50 = t.Slowdown.Quantile(0.50)
+			ts.P95 = t.Slowdown.Quantile(0.95)
+			ts.P99 = t.Slowdown.Quantile(0.99)
+		}
+		snap.Tenants = append(snap.Tenants, ts)
+	}
+	for i := range s.Tenants {
+		digest(&s.Tenants[i])
+	}
+	digest(&s.All)
+	tail := s.Timeline
+	if len(tail) > timelineTail {
+		tail = tail[len(tail)-timelineTail:]
+	}
+	snap.Timeline = append([]UtilPoint(nil), tail...)
+	mo.snap.Store(snap)
+}
+
+// Handler returns the monitor's HTTP mux: "/status" (snapshot JSON),
+// "/trace" (Chrome trace JSON so far), "/" (a plain-text index).
+func (mo *Monitor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", mo.handleStatus)
+	mux.HandleFunc("/trace", mo.handleTrace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("numadag service-mode monitor\n  /status  live cluster state (JSON)\n  /trace   Chrome trace snapshot (load in Perfetto)\n"))
+	})
+	return mux
+}
+
+func (mo *Monitor) handleStatus(w http.ResponseWriter, r *http.Request) {
+	snap := mo.snap.Load()
+	if snap == nil {
+		http.Error(w, "run not started", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
+}
+
+func (mo *Monitor) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if mo.tr == nil {
+		http.Error(w, "no tracer attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+	mo.tr.WriteChromeTrace(w)
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"numadag/internal/trace"
+)
+
+// Observer receives cluster-level job lifecycle callbacks. All callbacks
+// run on the simulation goroutine, at the instant the event occurs, and
+// must treat their arguments as read-only: an observer that touched
+// dispatcher state or queues would perturb the run. The *Job pointers stay
+// valid for the whole run (jobs live in the Result slice).
+//
+// Callback order per job: JobSubmit, then JobDispatch at the same instant
+// (after the dispatcher placed it), JobStart when a machine picks it up
+// (StartAt - SubmitAt is the queueing delay), and JobComplete after its
+// statistics are folded in. A zero-task job completes synchronously, so
+// JobComplete can fire within the same instant as JobStart.
+type Observer interface {
+	// JobSubmit fires when the job enters the system, before dispatch.
+	JobSubmit(j *Job)
+	// JobDispatch fires once the dispatcher has placed the job on
+	// j.Machine. candidates lists the machines a sampling dispatcher
+	// examined (nil for deterministic dispatchers; reused scratch — copy to
+	// keep). queued is the chosen machine's queue depth including this job.
+	JobDispatch(j *Job, candidates []int, queued int)
+	// JobStart fires when the job begins executing; queued is the depth of
+	// the queue it left behind.
+	JobStart(j *Job, queued int)
+	// JobComplete fires after j's timeline and statistics are final.
+	JobComplete(j *Job)
+}
+
+// traceObserver adapts cluster job events onto a trace.Tracer: job spans on
+// each machine's sched lane, dispatch instants with the sampled candidates,
+// and per-machine queue-depth counters. Machine pids are fleet indices
+// (matching AttachMachine in Run).
+type traceObserver struct {
+	tr  *trace.Tracer
+	cfg *Config
+}
+
+var _ Observer = (*traceObserver)(nil)
+
+func (o *traceObserver) JobSubmit(j *Job) {}
+
+func (o *traceObserver) JobDispatch(j *Job, candidates []int, queued int) {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"job":%d,"tenant":%s`, j.ID, trace.QuoteString(o.cfg.Tenants[j.Tenant].Name))
+	if candidates != nil {
+		b.WriteString(`,"candidates":[`)
+		for i, c := range candidates {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(c))
+		}
+		b.WriteByte(']')
+	}
+	fmt.Fprintf(&b, `,"queued":%d}`, queued)
+	o.tr.Instant(j.Machine, "dispatch", j.SubmitAt, b.String())
+	o.tr.QueueDepth(j.Machine, j.SubmitAt, queued)
+}
+
+func (o *traceObserver) JobStart(j *Job, queued int) {
+	o.tr.BeginJob(j.Machine, fmt.Sprintf("job %d %s", j.ID, j.Spec), j.StartAt)
+	o.tr.QueueDepth(j.Machine, j.StartAt, queued)
+}
+
+func (o *traceObserver) JobComplete(j *Job) {
+	args := fmt.Sprintf(`{"job":%d,"tenant":%s,"queue_delay_ns":%d,"slowdown":%s}`,
+		j.ID, trace.QuoteString(o.cfg.Tenants[j.Tenant].Name),
+		int64(j.StartAt-j.SubmitAt),
+		strconv.FormatFloat(j.Slowdown, 'g', -1, 64))
+	o.tr.EndJob(j.Machine, j.EndAt, args)
+}

@@ -30,6 +30,16 @@ func NewPolicy(spec string) (rt.Policy, error) {
 	return policy.New(spec)
 }
 
+// TraceAttacher hooks a simulated machine up to a trace sink before a run —
+// trace.Tracer implements it. It is an interface here so core does not
+// depend on the trace package; the returned observer is installed on the
+// runtime when the caller has not configured one of their own (a user
+// observer wins the Observer slot; machine-level flow/counter hooks record
+// either way).
+type TraceAttacher interface {
+	AttachMachine(m *machine.Machine, pid int, name string) rt.Observer
+}
+
 // Config describes one simulation run. App is a workload registry spec —
 // a benchmark name ("jacobi"), a parameterized generator
 // ("random-layered?layers=24&width=96") or an imported DAG
@@ -41,6 +51,13 @@ type Config struct {
 	Policy  string
 	Machine machine.Config
 	Runtime rt.Options
+	// Trace, when non-nil, records the run into a trace sink: the machine is
+	// attached under process id TracePID and the attacher's observer is
+	// installed unless Runtime.Observer is already set. Traced runs bypass
+	// the runtime and machine pools — tracer hooks cannot be detached, and
+	// observers may hold *Task beyond the run.
+	Trace    TraceAttacher
+	TracePID int
 }
 
 // DefaultConfig returns the evaluation settings: bullion S16 machine and
@@ -80,6 +97,13 @@ func runWith(cfg Config, w *workload.Workload, snap *rt.Snapshot) (RunResult, er
 		return RunResult{}, err
 	}
 	m := acquireMachine(cfg.Machine)
+	if cfg.Trace != nil {
+		obs := cfg.Trace.AttachMachine(m, cfg.TracePID,
+			fmt.Sprintf("%s %s seed%d", cfg.App, cfg.Policy, cfg.Runtime.Seed))
+		if cfg.Runtime.Observer == nil {
+			cfg.Runtime.Observer = obs
+		}
+	}
 	r := rt.NewRuntime(m, pol, cfg.Runtime)
 	if snap != nil {
 		snap.Install(r)
@@ -99,11 +123,13 @@ func runWith(cfg Config, w *workload.Workload, snap *rt.Snapshot) (RunResult, er
 	if err := r.AuditSchedule(); err != nil {
 		return RunResult{}, fmt.Errorf("core: %s/%s: %w", cfg.App, cfg.Policy, err)
 	}
-	if cfg.Runtime.Observer == nil {
-		// No observer means nothing outside this function saw a *Task, a
-		// *Region or the machine: the audit has run, the Result slices are
-		// per-run, and both the runtime's arenas and the machine/engine pair
-		// can go back to their pools for the next cell.
+	if cfg.Runtime.Observer == nil && cfg.Trace == nil {
+		// No observer and no tracer means nothing outside this function saw
+		// a *Task, a *Region or the machine: the audit has run, the Result
+		// slices are per-run, and both the runtime's arenas and the
+		// machine/engine pair can go back to their pools for the next cell.
+		// Traced machines carry undetachable flow hooks and flushers, so
+		// they never re-enter the pool.
 		r.Release()
 		releaseMachine(m)
 	}
@@ -175,6 +201,9 @@ type Figure1Options struct {
 	Seeds int
 	// Apps optionally restricts the benchmark list (nil = all eight).
 	Apps []string
+	// Trace optionally records every grid cell into a trace sink (see
+	// Experiment.Trace).
+	Trace TraceAttacher
 }
 
 // DefaultFigure1Options returns the paper-faithful settings.
@@ -211,6 +240,7 @@ func Figure1Experiment(opt Figure1Options) *Experiment {
 		Machines: []machine.Config{opt.Machine},
 		Runtime:  opt.Runtime,
 		Seeds:    opt.Seeds,
+		Trace:    opt.Trace,
 	}
 }
 

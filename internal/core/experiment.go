@@ -98,6 +98,12 @@ type Experiment struct {
 	Runtime rt.Options
 	// Seeds is the number of replicates per cell; 0 means 1.
 	Seeds int
+	// Trace, when non-nil, records every cell into the trace sink, each cell
+	// attached under its canonical Index as the process id — so a grid's
+	// trace holds one deterministic "process" per cell even when cells run
+	// concurrently. Traced cells bypass the runtime/machine pools (see
+	// Config.Trace).
+	Trace TraceAttacher
 	// Workers caps the worker pool; 0 means GOMAXPROCS.
 	Workers int
 	// TDGCache bounds the per-experiment snapshot cache that shares each
@@ -240,6 +246,8 @@ func (e *Experiment) config(p plan) Config {
 		p.vari.Mutate(&cfg.Runtime)
 	}
 	cfg.Runtime.Seed = p.cell.Seed
+	cfg.Trace = e.Trace
+	cfg.TracePID = p.cell.Index
 	return cfg
 }
 

@@ -256,6 +256,14 @@ func (m *Machine) Engine() *sim.Engine { return m.eng }
 // Net returns the fluid-flow network (exposed for statistics).
 func (m *Machine) Net() *sim.Net { return m.net }
 
+// Controllers returns the per-socket memory-controller resources, indexed
+// by socket. The slice is the machine's own and must not be mutated.
+func (m *Machine) Controllers() []*sim.Resource { return m.mcs }
+
+// Ports returns the per-socket interconnect-port resources, indexed by
+// socket. The slice is the machine's own and must not be mutated.
+func (m *Machine) Ports() []*sim.Resource { return m.ports }
+
 // Sockets returns the socket count.
 func (m *Machine) Sockets() int { return m.cfg.Sockets }
 

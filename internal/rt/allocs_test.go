@@ -65,6 +65,49 @@ func TestInstallSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestRunNilObserverSteadyStateAllocs pins the untraced hot path through a
+// full simulated run: with no Observer configured, the transfer/steal
+// observer hooks must stay un-taken branches — the traced path wraps every
+// cross-socket transfer completion in a fresh closure, and that wrapper
+// must never be paid by plain runs. The layered graph on AnySocket with
+// stealing exercises transfers (obsXfer nil-check) and steals (obsSteal
+// nil-check); what remains per cycle is the per-run constant: the TDG
+// handle and the escaping Result slices — measured 4 allocs/op. The bound
+// leaves headroom over 4 but sits far below the dozens of transfer-wrapper
+// closures one traced run of this graph pays, so a hook leaking onto the
+// plain path trips it.
+func TestRunNilObserverSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool randomizes caching under the race detector")
+	}
+	proto := newSnapRT(pinned(0), Options{})
+	buildLayeredRT(proto, 24, 16)
+	snap, err := Snap(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.TwoSocketXeon(), sim.NewEngine())
+	opts := Options{WindowSize: 32, Seed: 3, Steal: true, StealThreshold: 2}
+	cycle := func() {
+		r := NewRuntime(m, cyclic{}, opts)
+		snap.Install(r)
+		res := r.Run()
+		if res.TasksRun == 0 {
+			t.Fatal("run executed no tasks")
+		}
+		r.Release()
+		m.Reset()
+	}
+	for i := 0; i < 5; i++ {
+		cycle() // grow the pooled arenas and the engine's event arena
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const limit = 16
+	if avg := testing.AllocsPerRun(20, cycle); avg > limit {
+		t.Fatalf("nil-observer run allocates %.1f allocs/op in steady state, want <= %d", avg, limit)
+	}
+}
+
 // BenchmarkSnapshotInstall measures installing a captured task graph into a
 // pooled runtime — the per-replicate cost of a multi-seed sweep cell before
 // any simulation runs. allocs/op is the arena contract: ~constant, not

@@ -29,9 +29,36 @@ type Preparer interface {
 }
 
 // Observer receives execution lifecycle callbacks; trace sinks implement it.
+// An Observer may additionally implement TransferObserver and StealObserver;
+// the runtime type-asserts once at construction and invokes the extended
+// callbacks only when implemented, so the base interface stays small and
+// existing observers keep working. Observers must treat every callback as
+// read-only: they run inside the event loop and anything they change
+// (placement, queues, RNG state) would perturb the simulation.
 type Observer interface {
 	TaskStart(t *Task)
 	TaskEnd(t *Task)
+}
+
+// TransferObserver is an optional Observer extension receiving the data
+// movement of each task phase: TransferStart fires when the runtime launches
+// a transfer of bytes between memory homed on socket `home` and task t's
+// executing socket `exec` (reads pull from home, writes push to it), and
+// TransferEnd fires at the instant the last byte lands, before the phase
+// continuation runs. Only non-empty transfers are reported; zero-byte
+// phases complete without callbacks.
+type TransferObserver interface {
+	TransferStart(t *Task, home, exec int, bytes int64)
+	TransferEnd(t *Task, home, exec int, bytes int64)
+}
+
+// StealObserver is an optional Observer extension notified when an idle
+// core robs a task across sockets: victim is the socket the task was queued
+// on, thief the socket of the stealing core. The callback runs at the steal
+// instant, before the task starts executing (its Core/Socket fields are not
+// yet assigned).
+type StealObserver interface {
+	TaskStolen(t *Task, victim, thief int)
 }
 
 // TaskDoneHook is implemented by policies that react to completions — e.g.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"numadag/internal/graph"
 	"numadag/internal/machine"
@@ -86,6 +87,11 @@ type Runtime struct {
 	released   bool
 	remaining  int  // tasks not yet done
 	stealVeto  bool // policy forbids cross-socket stealing
+
+	// Optional Observer extensions, type-asserted once at NewRuntime so the
+	// hot path tests one nil field instead of a dynamic assertion per event.
+	obsXfer  TransferObserver
+	obsSteal StealObserver
 
 	// Async-completion state (Start). onDone non-nil marks a runtime whose
 	// caller drives the engine externally — the cluster simulator, where many
@@ -207,6 +213,10 @@ func NewRuntime(m *machine.Machine, pol Policy, opts Options) *Runtime {
 	if v, ok := pol.(StealVeto); ok && v.VetoSteal() {
 		r.stealVeto = true
 	}
+	if o := opts.Observer; o != nil {
+		r.obsXfer, _ = o.(TransferObserver)
+		r.obsSteal, _ = o.(StealObserver)
+	}
 	return r
 }
 
@@ -304,8 +314,18 @@ func (r *Runtime) Release() {
 		return
 	}
 	r.released = true
+	releases.Add(1)
 	runtimePool.Put(r)
 }
+
+// releases counts completed Release calls process-wide; tests use it to
+// assert the Release-vs-Observer contract (a runner must not recycle a
+// runtime whose tasks an observer may still hold).
+var releases atomic.Uint64
+
+// Releases returns the number of runtimes released to the pool since
+// process start. It only ever grows; tests diff it across an operation.
+func Releases() uint64 { return releases.Load() }
 
 // Machine returns the simulated machine.
 func (r *Runtime) Machine() *machine.Machine { return r.mach }
@@ -766,6 +786,9 @@ func (r *Runtime) pickWork(core int) *Task {
 			t := q.popBack() // steal the youngest: oldest stays local
 			t.Stolen = true
 			r.stats.Steals++
+			if r.obsSteal != nil {
+				r.obsSteal.TaskStolen(t, v.s, s)
+			}
 			return t
 		}
 		vlo, vhi := r.mach.CoresOf(v.s)
@@ -774,6 +797,9 @@ func (r *Runtime) pickWork(core int) *Task {
 				t := q.popBack()
 				t.Stolen = true
 				r.stats.Steals++
+				if r.obsSteal != nil {
+					r.obsSteal.TaskStolen(t, v.s, s)
+				}
 				return t
 			}
 		}
@@ -924,7 +950,20 @@ func (r *Runtime) fanOutTransfers(core, execSocket int, perHome []int64, done fu
 			r.stats.RemoteBytes += b
 			r.stats.RemoteByteHops += int64(hops) * b
 		}
-		r.mach.Transfer(home, execSocket, b, cc.onTransfer)
+		onLand := cc.onTransfer
+		if r.obsXfer != nil {
+			// Wrap the landing continuation so TransferEnd fires at the exact
+			// completion instant, before the phase countdown. The closure
+			// allocates, but only on the traced path — untraced runs keep the
+			// prebuilt per-core continuation.
+			t, home, b := r.coreTask[core], home, b
+			r.obsXfer.TransferStart(t, home, execSocket, b)
+			onLand = func() {
+				r.obsXfer.TransferEnd(t, home, execSocket, b)
+				cc.onTransfer()
+			}
+		}
+		r.mach.Transfer(home, execSocket, b, onLand)
 	}
 }
 

@@ -45,6 +45,13 @@ func (r *Resource) settle(now Time, newRate float64) {
 // Name returns the diagnostic name given at creation.
 func (r *Resource) Name() string { return r.name }
 
+// Rate returns the aggregate allocated rate in bytes/ns — the sum of the
+// fair shares of every active flow crossing the resource, as of the last
+// reallocation. Unlike Flow.Rate it never forces a flush: it is meant for
+// samplers that run as engine flushers registered after the Net's own (so
+// they read settled post-fill values) and must not perturb the network.
+func (r *Resource) Rate() float64 { return r.rate }
+
 // Capacity returns the resource capacity in bytes per nanosecond.
 func (r *Resource) Capacity() float64 { return r.capacity }
 
@@ -79,6 +86,16 @@ type Flow struct {
 	dseq     uint64 // tiebreaker mirroring engine event seq order
 	starved  bool   // rate is 0 (or non-finite volume math): no deadline
 }
+
+// ID returns the flow's network-unique id. Ids are assigned in start order
+// and never reused within a run, so they identify a flow even after its
+// struct is recycled.
+func (f *Flow) ID() int { return f.id }
+
+// Path returns the contended resources the flow crosses. The slice is the
+// caller-supplied path, shared and read-only; it is valid while the flow is
+// active (it is dropped at completion, after the end hook runs).
+func (f *Flow) Path() []*Resource { return f.path }
 
 // Volume returns the total byte volume of the transfer.
 func (f *Flow) Volume() float64 { return f.volume }
@@ -207,6 +224,12 @@ type Net struct {
 	// TotalBytes accumulates the volume completed through the network,
 	// a convenient global traffic counter for statistics.
 	TotalBytes float64
+
+	// Flow lifecycle hooks (SetFlowHooks). Both are nil on the hot path:
+	// observability is opt-in and the nil checks keep the untraced network
+	// allocation-free and branch-cheap.
+	onFlowStart func(*Flow)
+	onFlowEnd   func(*Flow)
 }
 
 // NewNet creates an empty flow network driven by eng.
@@ -231,6 +254,19 @@ func (n *Net) NewResource(name string, capacity float64) *Resource {
 	n.sums = append(n.sums, 0)
 	n.csrCur = append(n.csrCur, 0)
 	return r
+}
+
+// SetFlowHooks installs flow lifecycle callbacks: onStart fires when a flow
+// enters the active set (before its first rate is assigned — rates of the
+// new instant settle at the end-of-instant flush), onEnd when its last byte
+// lands, before the completion callback and before the struct is recycled.
+// Hooks observe only: they must not start flows, schedule events or mutate
+// the network, and they see the *Flow handle subject to the recycling
+// contract (copy what outlives the callback). Zero-byte and empty-path
+// flows complete immediately and never reach the hooks. Hooks survive
+// Reset, like the engine's registered flushers.
+func (n *Net) SetFlowHooks(onStart, onEnd func(*Flow)) {
+	n.onFlowStart, n.onFlowEnd = onStart, onEnd
 }
 
 // StartFlow begins moving bytes across path and calls done (if non-nil) when
@@ -305,6 +341,9 @@ func (n *Net) StartFlowCapped(bytes float64, path []*Resource, maxRate float64, 
 		r.flows++
 	}
 	n.noteChurn()
+	if n.onFlowStart != nil {
+		n.onFlowStart(f)
+	}
 	if !n.batch {
 		n.flush()
 	}
@@ -686,6 +725,9 @@ func (n *Net) finish(f *Flow) {
 	n.noteChurn()
 	if !n.batch {
 		n.flush()
+	}
+	if n.onFlowEnd != nil {
+		n.onFlowEnd(f)
 	}
 	done := f.done
 	f.done = nil

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"numadag/internal/sim"
+)
+
+// WriteChromeTrace renders everything recorded so far as a Chrome
+// trace-event JSON object ({"traceEvents":[...]}), loadable in Perfetto and
+// chrome://tracing. The JSON is hand-assembled with fixed key order and
+// pids walked in sorted order, so output bytes are deterministic for a
+// deterministic event stream — including across parallel experiment cells,
+// whose buffers are per-pid. Spans still open (a mid-run snapshot) are
+// simply absent; counters and closed spans up to the snapshot instant are
+// complete.
+func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString(`{"traceEvents":[`)
+	first := true
+	var buf []byte
+	emit := func() {
+		if first {
+			first = false
+		} else {
+			bw.WriteByte(',')
+		}
+		bw.WriteByte('\n')
+		bw.Write(buf)
+		buf = buf[:0]
+	}
+
+	pids := make([]int, 0, len(tr.byPid))
+	for pid := range tr.byPid {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+
+	for _, pid := range pids {
+		p := tr.byPid[pid]
+		// Process and thread metadata: names plus sort indexes so the
+		// viewer orders machines by pid and lanes by tid.
+		buf = append(buf, `{"name":"process_name","ph":"M","pid":`...)
+		buf = strconv.AppendInt(buf, int64(pid), 10)
+		buf = append(buf, `,"args":{"name":`...)
+		buf = appendQuoted(buf, p.name)
+		buf = append(buf, `}}`...)
+		emit()
+		buf = append(buf, `{"name":"process_sort_index","ph":"M","pid":`...)
+		buf = strconv.AppendInt(buf, int64(pid), 10)
+		buf = append(buf, `,"args":{"sort_index":`...)
+		buf = strconv.AppendInt(buf, int64(pid), 10)
+		buf = append(buf, `}}`...)
+		emit()
+		for tid, name := range p.laneNames {
+			buf = append(buf, `{"name":"thread_name","ph":"M","pid":`...)
+			buf = strconv.AppendInt(buf, int64(pid), 10)
+			buf = append(buf, `,"tid":`...)
+			buf = strconv.AppendInt(buf, int64(tid), 10)
+			buf = append(buf, `,"args":{"name":`...)
+			buf = appendQuoted(buf, name)
+			buf = append(buf, `}}`...)
+			emit()
+			buf = append(buf, `{"name":"thread_sort_index","ph":"M","pid":`...)
+			buf = strconv.AppendInt(buf, int64(pid), 10)
+			buf = append(buf, `,"tid":`...)
+			buf = strconv.AppendInt(buf, int64(tid), 10)
+			buf = append(buf, `,"args":{"sort_index":`...)
+			buf = strconv.AppendInt(buf, int64(tid), 10)
+			buf = append(buf, `}}`...)
+			emit()
+		}
+		for _, s := range p.spans {
+			buf = append(buf, `{"name":`...)
+			buf = appendQuoted(buf, s.name)
+			buf = append(buf, `,"ph":"X","ts":`...)
+			buf = appendTs(buf, s.ts)
+			buf = append(buf, `,"dur":`...)
+			buf = appendTs(buf, s.dur)
+			buf = append(buf, `,"pid":`...)
+			buf = strconv.AppendInt(buf, int64(pid), 10)
+			buf = append(buf, `,"tid":`...)
+			buf = strconv.AppendInt(buf, int64(s.tid), 10)
+			if s.args != "" {
+				buf = append(buf, `,"args":`...)
+				buf = append(buf, s.args...)
+			}
+			buf = append(buf, '}')
+			emit()
+		}
+		for _, c := range p.counters {
+			buf = append(buf, `{"name":`...)
+			buf = appendQuoted(buf, c.name)
+			buf = append(buf, `,"ph":"C","ts":`...)
+			buf = appendTs(buf, c.ts)
+			buf = append(buf, `,"pid":`...)
+			buf = strconv.AppendInt(buf, int64(pid), 10)
+			buf = append(buf, `,"args":`...)
+			buf = append(buf, c.args...)
+			buf = append(buf, '}')
+			emit()
+		}
+		for _, in := range p.instants {
+			buf = append(buf, `{"name":`...)
+			buf = appendQuoted(buf, in.name)
+			buf = append(buf, `,"ph":"i","s":"p","ts":`...)
+			buf = appendTs(buf, in.ts)
+			buf = append(buf, `,"pid":`...)
+			buf = strconv.AppendInt(buf, int64(pid), 10)
+			buf = append(buf, `,"tid":`...)
+			buf = strconv.AppendInt(buf, int64(p.schedTid), 10)
+			if in.args != "" {
+				buf = append(buf, `,"args":`...)
+				buf = append(buf, in.args...)
+			}
+			buf = append(buf, '}')
+			emit()
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// appendTs formats a simulated time (integer nanoseconds) as trace-event
+// microseconds with three decimals — exact, so output stays byte-stable.
+func appendTs(b []byte, t sim.Time) []byte {
+	return strconv.AppendFloat(b, float64(t)/1e3, 'f', 3, 64)
+}
+
+// WriteFile writes the Chrome trace JSON to path.
+func (tr *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteGantt renders pid's timeline as a plain-text Gantt chart: one row
+// per core ('#' where the core runs a task) followed by one row per
+// link/controller lane ('=' where a fluid flow crosses it), `width` columns
+// over [0, makespan].
+func (tr *Tracer) WriteGantt(w io.Writer, pid, width int) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if width <= 0 {
+		width = 80
+	}
+	p := tr.byPid[pid]
+	if p == nil {
+		return fmt.Errorf("trace: pid %d not recorded", pid)
+	}
+	var makespan sim.Time
+	for _, s := range p.spans {
+		if end := s.ts + s.dur; end > makespan {
+			makespan = end
+		}
+	}
+	if makespan == 0 {
+		makespan = 1
+	}
+	coreRows := make([][]byte, p.cores)
+	for i := range coreRows {
+		coreRows[i] = []byte(strings.Repeat(".", width))
+	}
+	flowRows := make(map[string][]byte, len(p.flowLanes))
+	for _, key := range p.flowLanes {
+		flowRows[key] = []byte(strings.Repeat(".", width))
+	}
+	paint := func(row []byte, ts, dur sim.Time, mark byte) {
+		lo := int(int64(ts) * int64(width) / int64(makespan))
+		hi := int(int64(ts+dur) * int64(width) / int64(makespan))
+		if hi == lo {
+			hi = lo + 1
+		}
+		for x := lo; x < hi && x < width; x++ {
+			row[x] = mark
+		}
+	}
+	for _, s := range p.spans {
+		switch {
+		case s.key == "" && s.tid < p.cores:
+			paint(coreRows[s.tid], s.ts, s.dur, '#')
+		case s.key != "":
+			if row := flowRows[s.key]; row != nil {
+				paint(row, s.ts, s.dur, '=')
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "gantt pid %d (%s): %d spans over %v\n", pid, p.name, len(p.spans), makespan)
+	for c, row := range coreRows {
+		fmt.Fprintf(bw, "%-8s|%s|\n", fmt.Sprintf("core %d", c), row)
+	}
+	for _, key := range p.flowLanes {
+		fmt.Fprintf(bw, "%-8s|%s|\n", key, flowRows[key])
+	}
+	return bw.Flush()
+}

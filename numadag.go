@@ -69,6 +69,36 @@
 // fixed-seed service run is bit-identical across repeats; cmd/dcsim is the
 // command-line driver.
 //
+// Quick start — tracing and the live monitor:
+//
+// A Tracer records the whole stack — task spans per core, memory transfers,
+// fluid flows per link, per-link bandwidth-utilization counters, and in
+// service mode job spans, dispatch decisions and queue depths — as Chrome
+// trace-event JSON, loadable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing. Tracing observes without perturbing: a fixed-seed run
+// is bit-identical with or without it.
+//
+//	tr := numadag.NewTracer()
+//	cfg := numadag.DefaultConfig("jacobi", "RGP+LAS", numadag.ScaleSmall)
+//	cfg.Trace = tr
+//	if _, err := numadag.Run(cfg); err != nil {
+//		log.Fatal(err)
+//	}
+//	tr.WriteFile("jacobi.json")        // open in Perfetto
+//	tr.WriteGantt(os.Stdout, 0, 100)   // text timeline: cores + links
+//
+// The same Tracer slot exists on Experiment, Figure1Options and
+// ClusterConfig (cmd/figure1 -trace, cmd/dcsim -trace). For long
+// service-mode runs, a ClusterMonitor serves live progress over HTTP —
+// /status returns jobs in flight and per-tenant p50/p95/p99 slowdown as
+// JSON, /trace downloads the trace so far (cmd/dcsim -http :8080):
+//
+//	mon := numadag.NewClusterMonitor(tr)
+//	ccfg.Trace, ccfg.Monitor = tr, mon
+//	ln, _ := net.Listen("tcp", ":8080")
+//	go http.Serve(ln, mon.Handler())
+//	res, err := numadag.RunCluster(ccfg)
+//
 // Quick start — workload specs:
 //
 // Wherever a benchmark name is accepted (Config.App, Experiment.Apps,
@@ -416,11 +446,23 @@ type (
 	// TraceRecorder collects task execution spans (implements the
 	// runtime's Observer).
 	TraceRecorder = trace.Recorder
+	// Tracer merges task, transfer, fluid-flow, link-utilization and
+	// cluster-dispatch events from any number of machines into one Chrome
+	// trace-event timeline (Perfetto-loadable). See the tracing quick start
+	// in the package documentation.
+	Tracer = trace.Tracer
 )
 
 // NewTraceRecorder returns an empty trace recorder; pass it in
 // RuntimeOptions.Observer.
 func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// NewTracer returns an empty multi-source tracer. Set it as Config.Trace,
+// Experiment.Trace, Figure1Options.Trace or ClusterConfig.Trace; after the
+// run, WriteFile emits Chrome trace JSON and WriteGantt a text timeline.
+// Tracing observes without perturbing: a fixed-seed run is bit-identical
+// with or without it.
+func NewTracer() *Tracer { return trace.NewTracer() }
 
 // Service mode: online multi-tenant cluster simulation (cmd/dcsim).
 type (
@@ -441,10 +483,22 @@ type (
 	ClusterStats = cluster.Stats
 	// Dispatcher places arriving jobs on fleet machines.
 	Dispatcher = cluster.Dispatcher
+	// ClusterObserver receives job lifecycle callbacks (submit, dispatch
+	// with sampled candidates, start, complete) from a service-mode run.
+	ClusterObserver = cluster.Observer
+	// ClusterMonitor publishes live service-mode state over HTTP (/status
+	// JSON with per-tenant tail quantiles, /trace Chrome-trace snapshot)
+	// via lock-free snapshots refreshed from the simulation goroutine.
+	ClusterMonitor = cluster.Monitor
 	// Histogram is a merge-deterministic streaming quantile sketch with
 	// bounded relative error (used for the tail-latency metrics).
 	Histogram = metrics.Histogram
 )
+
+// NewClusterMonitor returns a live monitor for a service-mode run; tr may
+// be nil to serve /status only. Set it as ClusterConfig.Monitor and serve
+// Handler() on a listener of your choice.
+func NewClusterMonitor(tr *Tracer) *ClusterMonitor { return cluster.NewMonitor(tr) }
 
 // RunCluster executes one service-mode simulation; per-job results stream
 // through the same sinks batch experiments use (the job's tenant is the
