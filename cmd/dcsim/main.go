@@ -23,11 +23,15 @@
 // every other command accepts (see cmd/dagen -list).
 //
 // A fixed -seed makes the whole run — arrivals, dispatch, scheduling —
-// bit-identical across repeats and across -procs values; -procs only fans
+// bit-identical across repeats and across -procs values; -procs sets the
+// engine's end-of-instant flush parallelism (independent machines'
+// reallocation passes run concurrently under a deterministic id-ordered
+// merge — see package sim's parallel flush determinism contract) and fans
 // out the one-time task-graph prebuilds.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -35,6 +39,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"numadag/internal/apps"
 	"numadag/internal/cluster"
@@ -54,7 +59,7 @@ func main() {
 		scaleF   = flag.String("scale", "tiny", "problem scale for workload specs")
 		jobs     = flag.Int("jobs", 500, "arrival stream length")
 		seed     = flag.Uint64("seed", 1, "base seed (tenants, dispatch, per-job runtimes)")
-		procs    = flag.Int("procs", 1, "task-graph prebuild workers (never affects results)")
+		procs    = flag.Int("procs", 1, "simulation parallelism: engine flush workers and task-graph prebuild workers (never affects results)")
 		rate     = flag.Float64("rate", 7000, "total arrival rate for the default tenant mix, jobs/s")
 		tenantsF = flag.String("tenants", "", "tenant declarations: name:process:rate:spec|spec,...")
 		jsonlF   = flag.String("jsonl", "", "stream per-job results as JSON lines to this file")
@@ -62,6 +67,7 @@ func main() {
 		audit    = flag.Bool("audit", false, "audit every job's schedule against TDG semantics")
 		traceF   = flag.String("trace", "", "write a Chrome trace of the whole run to this file (load in Perfetto)")
 		httpF    = flag.String("http", "", "serve the live monitor on this address (e.g. :8080): /status JSON, /trace snapshot")
+		lingerF  = flag.Duration("http-linger", 0, "with -http: keep serving the monitor this long after the run ends, so a scraper can read the final snapshot")
 	)
 	flag.Parse()
 
@@ -79,17 +85,18 @@ func main() {
 	}
 
 	cfg := cluster.Config{
-		Machines:   *machines,
-		Machine:    mc,
-		Policy:     *policyF,
-		Runtime:    rt.DefaultOptions(),
-		Scale:      sc,
-		Tenants:    tenants,
-		Jobs:       *jobs,
-		Seed:       *seed,
-		Dispatcher: *dispF,
-		Procs:      *procs,
-		Audit:      *audit,
+		Machines:    *machines,
+		Machine:     mc,
+		Policy:      *policyF,
+		Runtime:     rt.DefaultOptions(),
+		Scale:       sc,
+		Tenants:     tenants,
+		Jobs:        *jobs,
+		Seed:        *seed,
+		Dispatcher:  *dispF,
+		Procs:       *procs,
+		Parallelism: *procs,
+		Audit:       *audit,
 	}
 	if *traceF != "" || *httpF != "" {
 		// The monitor's /trace endpoint serves the tracer's snapshot, so
@@ -104,7 +111,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "dcsim: live monitor on http://%s (/status, /trace)\n", ln.Addr())
-		go http.Serve(ln, mon.Handler())
+		go func() {
+			// Serve returns ErrClosed on a clean listener close at exit;
+			// anything else (port stolen, accept failure) must be surfaced,
+			// not dropped — a dead monitor that looks alive is worse than
+			// none.
+			if err := http.Serve(ln, mon.Handler()); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "dcsim: monitor:", err)
+			}
+		}()
 	}
 
 	var sinks []core.Sink
@@ -141,6 +156,12 @@ func main() {
 	fmt.Printf("\n%s\n", res.Stats.Summary())
 	fmt.Printf("makespan %v, %d engine steps, %.0f bytes moved, completion hash %016x\n",
 		res.Makespan, res.Steps, res.TotalBytes, res.CompletionHash())
+	if *httpF != "" && *lingerF > 0 {
+		// Without the linger the process exits the instant the run ends and
+		// the monitor dies with the final snapshot unread.
+		fmt.Fprintf(os.Stderr, "dcsim: run complete; monitor lingering %v\n", *lingerF)
+		time.Sleep(*lingerF)
+	}
 }
 
 // parseTenants decodes the -tenants grammar, or returns the default

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 
 	"numadag/internal/apps"
@@ -53,6 +54,69 @@ func BenchmarkClusterTick(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*jobs), "ns/job")
 	b.ReportMetric(float64(makespan)/1e6, "sim-ms/run")
+}
+
+// benchFleetConfig is the parallel-flush showcase scenario: `machines`
+// machines and a trace tenant submitting machine-wide bursts at identical
+// instants, spread one-per-machine by the idle dispatcher under the RNG-free
+// DFIFO policy — so every burst puts every machine's Net in the same
+// end-of-instant flush batch, the load shape the engine's worker pool
+// (Config.Parallelism) exists for.
+func benchFleetConfig(machines, rounds int) Config {
+	burst := make([]sim.Time, 0, machines*rounds)
+	for r := 0; r < rounds; r++ {
+		at := sim.Time(r) * 200 * sim.Microsecond
+		for i := 0; i < machines; i++ {
+			burst = append(burst, at)
+		}
+	}
+	return Config{
+		Machines: machines,
+		Machine:  machine.TwoSocketXeon(),
+		Policy:   "DFIFO",
+		Runtime:  rt.DefaultOptions(),
+		Scale:    apps.Tiny,
+		Tenants: []Tenant{
+			{Name: "burst", Specs: []string{"forkjoin?depth=2&fanout=2"}, Process: "trace", Trace: burst},
+		},
+		Jobs:       machines * rounds,
+		Seed:       9,
+		Dispatcher: "idle",
+	}
+}
+
+// BenchmarkClusterTickFleet is BenchmarkClusterTick at fleet scale (64
+// machines, lockstep bursts), with a sequential row and a parallel-flush
+// row. The par=8 / par=1 ns/op ratio in BENCH_sim.json is the parallel
+// engine's headline number; on a single-core host the rows coincide (the
+// pool can only overlap prepares when the OS has cores to run them on) —
+// the determinism goldens, not this ratio, are what every host must
+// reproduce.
+func BenchmarkClusterTickFleet(b *testing.B) {
+	const machines, rounds = 64, 6
+	for _, par := range []int{1, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			jobs := machines * rounds
+			cfg := benchFleetConfig(machines, rounds)
+			cfg.Parallelism = par
+			if _, err := Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var makespan sim.Time
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = res.Makespan
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*jobs), "ns/job")
+			b.ReportMetric(float64(makespan)/1e6, "sim-ms/run")
+		})
+	}
 }
 
 // BenchmarkDispatch isolates the placement decision: Pick + the paired

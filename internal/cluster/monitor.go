@@ -30,14 +30,15 @@ type TenantSnapshot struct {
 // job event: in-flight and completed job counts, per-tenant streaming
 // slowdown quantiles, and the tail of the cluster occupancy timeline.
 type MonitorSnapshot struct {
-	Now         sim.Time         `json:"now_ns"`
-	JobsDone    int              `json:"jobs_done"`
-	JobsRunning int              `json:"jobs_running"`
-	JobsQueued  int              `json:"jobs_queued"`
-	Utilization float64          `json:"utilization"`
-	Fairness    float64          `json:"fairness"`
-	Tenants     []TenantSnapshot `json:"tenants"`
-	Timeline    []UtilPoint      `json:"timeline_tail"`
+	Now           sim.Time         `json:"now_ns"`
+	JobsSubmitted int              `json:"jobs_submitted"`
+	JobsDone      int              `json:"jobs_done"`
+	JobsRunning   int              `json:"jobs_running"`
+	JobsQueued    int              `json:"jobs_queued"`
+	Utilization   float64          `json:"utilization"`
+	Fairness      float64          `json:"fairness"`
+	Tenants       []TenantSnapshot `json:"tenants"`
+	Timeline      []UtilPoint      `json:"timeline_tail"`
 }
 
 // Monitor publishes live service-mode state over HTTP while a cluster run
@@ -72,8 +73,11 @@ func (mo *Monitor) bind(f *fleetRun) {
 // run starts.
 func (mo *Monitor) Snapshot() *MonitorSnapshot { return mo.snap.Load() }
 
-// JobSubmit implements Observer.
-func (mo *Monitor) JobSubmit(j *Job) {}
+// JobSubmit implements Observer. Publishing here (not first at dispatch)
+// keeps /status honest about offered load: a scraper sees jobs_submitted
+// rise the instant a job enters the system, even while it is still queued
+// behind the dispatcher.
+func (mo *Monitor) JobSubmit(j *Job) { mo.publish() }
 
 // JobDispatch implements Observer.
 func (mo *Monitor) JobDispatch(j *Job, candidates []int, queued int) { mo.publish() }
@@ -91,13 +95,14 @@ func (mo *Monitor) publish() {
 	f := mo.f
 	s := f.stats
 	snap := &MonitorSnapshot{
-		Now:         f.eng.Now(),
-		JobsDone:    s.All.Jobs,
-		JobsRunning: s.busyNow,
-		JobsQueued:  s.queueNow,
-		Utilization: s.MeanUtilization(),
-		Fairness:    s.Fairness(),
-		Tenants:     make([]TenantSnapshot, 0, len(s.Tenants)+1),
+		Now:           f.eng.Now(),
+		JobsSubmitted: s.Submitted,
+		JobsDone:      s.All.Jobs,
+		JobsRunning:   s.busyNow,
+		JobsQueued:    s.queueNow,
+		Utilization:   s.MeanUtilization(),
+		Fairness:      s.Fairness(),
+		Tenants:       make([]TenantSnapshot, 0, len(s.Tenants)+1),
 	}
 	digest := func(t *TenantStats) {
 		ts := TenantSnapshot{Name: t.Name, Jobs: t.Jobs}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// TestClusterParallelEquivalence is the service-mode half of the parallel
+// flush determinism contract: the same cell run at engine parallelism 1, 2
+// and 8 must produce not just equal summary triples but an identical full
+// job stream — every job's machine, start, end, slowdown and per-run stats,
+// compared field by field. Eight cells cover both dispatcher families, two
+// seeds and two fleet sizes (a 16-machine fleet produces flush batches well
+// past the parallel threshold).
+func TestClusterParallelEquivalence(t *testing.T) {
+	type cell struct {
+		disp     string
+		seed     uint64
+		machines int
+	}
+	var cells []cell
+	for _, disp := range []string{"kchoices?d=2", "idle"} {
+		for _, seed := range []uint64{1, 7} {
+			for _, machines := range []int{4, 16} {
+				cells = append(cells, cell{disp, seed, machines})
+			}
+		}
+	}
+	for _, c := range cells {
+		mk := func(par int) Config {
+			cfg := testConfig(60)
+			cfg.Dispatcher = c.disp
+			cfg.Seed = c.seed
+			cfg.Machines = c.machines
+			cfg.Parallelism = par
+			return cfg
+		}
+		base, err := Run(mk(1))
+		if err != nil {
+			t.Fatalf("%s/seed%d/m%d: %v", c.disp, c.seed, c.machines, err)
+		}
+		for _, par := range []int{2, 8} {
+			got, err := Run(mk(par))
+			if err != nil {
+				t.Fatalf("%s/seed%d/m%d par=%d: %v", c.disp, c.seed, c.machines, par, err)
+			}
+			if got.Steps != base.Steps || got.Makespan != base.Makespan || got.TotalBytes != base.TotalBytes {
+				t.Errorf("%s/seed%d/m%d par=%d: aggregates differ: steps %d/%d makespan %v/%v bytes %v/%v",
+					c.disp, c.seed, c.machines, par,
+					got.Steps, base.Steps, got.Makespan, base.Makespan, got.TotalBytes, base.TotalBytes)
+			}
+			if got.CompletionHash() != base.CompletionHash() {
+				t.Errorf("%s/seed%d/m%d par=%d: completion hash %x != sequential %x",
+					c.disp, c.seed, c.machines, par, got.CompletionHash(), base.CompletionHash())
+			}
+			if !reflect.DeepEqual(got.Jobs, base.Jobs) {
+				for i := range got.Jobs {
+					if !reflect.DeepEqual(got.Jobs[i], base.Jobs[i]) {
+						t.Errorf("%s/seed%d/m%d par=%d: job %d diverged:\n  par: %+v\n  seq: %+v",
+							c.disp, c.seed, c.machines, par, i, got.Jobs[i], base.Jobs[i])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFleet128Parallel runs a 128-machine fleet with the flush pool on —
+// the scale the parallel engine exists for, and (under -race, where make ci
+// runs it as its own step) the interleaving stress for the
+// prepare/merge handoff: 128 independent components going dirty in
+// overlapping instants, drained by 8 threads.
+func TestFleet128Parallel(t *testing.T) {
+	cfg := testConfig(200)
+	cfg.Machines = 128
+	cfg.Parallelism = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.All.Jobs != len(res.Jobs) {
+		t.Fatalf("completed %d of %d jobs", res.Stats.All.Jobs, len(res.Jobs))
+	}
+	// Same fleet sequentially: bit-identical, even at this scale.
+	cfg2 := testConfig(200)
+	cfg2.Machines = 128
+	seq, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionHash() != seq.CompletionHash() {
+		t.Fatalf("128-machine parallel run hash %x != sequential %x",
+			res.CompletionHash(), seq.CompletionHash())
+	}
+}
+
+// submitProbe reads the monitor's snapshot from inside the observer chain.
+// User observers run before the monitor for each event, so at our
+// JobDispatch callback the monitor has processed this job's submit but NOT
+// its dispatch — if the snapshot already counts the submission, it was
+// published at submit time, which is exactly the regression this pins
+// (Monitor.JobSubmit used to be a no-op, leaving /status blind to
+// submitted-but-queued load until dispatch).
+type submitProbe struct {
+	mon        *Monitor
+	submits    int
+	atDispatch []int // snapshot's JobsSubmitted at each dispatch
+}
+
+func (p *submitProbe) JobSubmit(j *Job) { p.submits++ }
+func (p *submitProbe) JobDispatch(j *Job, cands []int, queued int) {
+	if s := p.mon.Snapshot(); s != nil {
+		p.atDispatch = append(p.atDispatch, s.JobsSubmitted)
+	}
+}
+func (p *submitProbe) JobStart(j *Job, queued int) {}
+func (p *submitProbe) JobComplete(j *Job)          {}
+
+// TestMonitorPublishesOnSubmit pins the JobSubmit bugfix from inside the
+// run and over HTTP: the snapshot visible at a job's dispatch already
+// counts that job's submission, and the final /status JSON reports the full
+// submitted count.
+func TestMonitorPublishesOnSubmit(t *testing.T) {
+	cfg := testConfig(40)
+	mon := NewMonitor(nil)
+	cfg.Monitor = mon
+	probe := &submitProbe{mon: mon}
+	cfg.Observer = probe
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.atDispatch) == 0 {
+		t.Fatal("probe saw no dispatches")
+	}
+	for i, got := range probe.atDispatch {
+		// Dispatch i happens after submit i+1 was published (submits and
+		// dispatches alternate within arrive), so the snapshot must already
+		// count at least that many submissions — and at most the total seen.
+		if got < i+1 || got > probe.submits {
+			t.Fatalf("dispatch %d: snapshot counts %d submitted, want in [%d, %d] — submit not published before dispatch",
+				i, got, i+1, probe.submits)
+		}
+	}
+	snap := mon.Snapshot()
+	if snap.JobsSubmitted != len(res.Jobs) {
+		t.Errorf("final snapshot counts %d submitted, run had %d jobs", snap.JobsSubmitted, len(res.Jobs))
+	}
+
+	rec := httptest.NewRecorder()
+	mon.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/status returned %d", rec.Code)
+	}
+	var decoded MonitorSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("/status is not valid JSON: %v", err)
+	}
+	if decoded.JobsSubmitted != len(res.Jobs) {
+		t.Errorf("/status reports %d submitted, run had %d jobs", decoded.JobsSubmitted, len(res.Jobs))
+	}
+}

@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestFlushReentrancy pins the Flow.Rate/Remaining force-flush guard: user
+// code running inside the fill (an accounting hook, a sampler called from a
+// rate callback) may read Flow.Rate or Flow.Remaining, and that reentrant
+// read must NOT run a second fill over the half-updated scratch state — it
+// must see exactly the rates the in-progress fill assigns. Before the
+// flushing guard this recursed into flushStage with dirty already cleared
+// (benign by luck); with component flushers staging engine ops the second
+// entry would double-record the completion reschedule.
+func TestFlushReentrancy(t *testing.T) {
+	run := func(reenter bool) (fills int, makespan Time, bytes float64, mid []float64) {
+		eng := NewEngine()
+		n := NewNet(eng)
+		r := n.NewResource("mc", 10)
+		var probe *Flow
+		base := n.fill
+		n.fill = func(now Time) {
+			fills++
+			base(now)
+			if reenter && probe != nil && !probe.finished {
+				// Reentrant reads mid-flush: the guard must make the forced
+				// flush a no-op, returning the rate this very fill assigned.
+				mid = append(mid, probe.Rate(), probe.Remaining())
+			}
+		}
+		probe = n.StartFlow(1000, []*Resource{r}, nil)
+		n.StartFlow(500, []*Resource{r}, nil)
+		makespan = eng.Run()
+		bytes = n.TotalBytes
+		return
+	}
+
+	fills, makespan, bytes, mid := run(true)
+	refFills, refMakespan, refBytes, _ := run(false)
+	if fills != refFills {
+		t.Errorf("reentrant Rate/Remaining changed fill count: %d vs %d", fills, refFills)
+	}
+	if makespan != refMakespan || bytes != refBytes {
+		t.Errorf("reentrant reads perturbed the run: (%v, %.0f) vs (%v, %.0f)",
+			makespan, bytes, refMakespan, refBytes)
+	}
+	// Two flows share a 10 B/ns resource: the first fill assigns 5 B/ns and
+	// the mid-flush read must see exactly that, with the full volume intact.
+	if len(mid) == 0 {
+		t.Fatal("reentrant probe never ran")
+	}
+	if mid[0] != 5 || mid[1] != 1000 {
+		t.Errorf("mid-flush probe read (rate %v, remaining %v), want (5, 1000)", mid[0], mid[1])
+	}
+}
+
+// TestFlushReentrantFlushIsNoop hits the guard directly: a forced flush
+// issued while a flush is running on the same Net must neither recurse nor
+// re-arm anything.
+func TestFlushReentrantFlushIsNoop(t *testing.T) {
+	eng := NewEngine()
+	n := NewNet(eng)
+	r := n.NewResource("mc", 4)
+	depth := 0
+	base := n.fill
+	n.fill = func(now Time) {
+		depth++
+		if depth > 1 {
+			t.Fatal("fill re-entered")
+		}
+		base(now)
+		n.flush() // must be a no-op: flushing is set, dirty cleared
+		depth--
+	}
+	n.StartFlow(100, []*Resource{r}, nil)
+	if got := eng.Run(); got != 25 {
+		t.Errorf("makespan %v, want 25ns (100 bytes at 4 B/ns)", got)
+	}
+}
+
+// parallelScenario drives K independent Nets on one engine through
+// overlapping same-instant churn — bursts of flow starts across every net at
+// identical timestamps, chained follow-up flows in completion callbacks —
+// and returns a full event log: every completion with its net, flow id,
+// timestamp and the engine step count at that moment. The log captures the
+// entire observable event stream, so two runs with equal logs (plus equal
+// final clocks, step counts and byte totals) executed identically.
+func parallelScenario(par int) (log []string, makespan Time, steps uint64, bytes float64) {
+	const nets = 6
+	eng := NewEngine()
+	eng.SetParallelism(par)
+	defer eng.SetParallelism(1)
+	var ns [nets]*Net
+	var res [nets][]*Resource
+	for i := 0; i < nets; i++ {
+		n := NewNet(eng)
+		ns[i] = n
+		res[i] = []*Resource{
+			n.NewResource(fmt.Sprintf("mc%d", i), float64(4+i)),
+			n.NewResource(fmt.Sprintf("port%d", i), 2.5),
+		}
+	}
+	record := func(net, id int) {
+		log = append(log, fmt.Sprintf("net%d flow%d at %d step %d", net, id, eng.Now(), eng.Steps()))
+	}
+	// Same-instant bursts across all nets: every net goes dirty in the same
+	// flush, exercising batches of size `nets` under the worker pool.
+	for round := 0; round < 4; round++ {
+		at := Time(round) * 300
+		for i := 0; i < nets; i++ {
+			i := i
+			vol := float64(600 + 70*i + 13*round)
+			eng.At(at, func() {
+				n := ns[i]
+				var f *Flow
+				f = n.StartFlowCapped(vol, res[i], 3.0, func() {
+					record(i, f.ID())
+					// Chained follow-up keeps churn flowing through later
+					// instants, staggered so completions interleave.
+					if f.Volume() > 500 {
+						var g *Flow
+						g = n.StartFlow(f.Volume()/2, res[i][:1], func() { record(i, g.ID()) })
+					}
+				})
+				// Cross-path contention within the net.
+				var h *Flow
+				h = n.StartFlow(vol/3, res[i][1:], func() { record(i, h.ID()) })
+			})
+		}
+	}
+	makespan = eng.Run()
+	steps = eng.Steps()
+	for i := 0; i < nets; i++ {
+		bytes += ns[i].TotalBytes
+	}
+	return
+}
+
+// TestParallelFlushEquivalence runs the multi-Net scenario at parallelism
+// 1, 2 and 8 and demands the full event streams — not just summary triples
+// — be identical: same completions, same order, same timestamps, same step
+// counts at each completion. This is the sim-level half of the parallel
+// flush determinism contract; the top-level golden sweep (NUMADAG_PAR) is
+// the system-level half.
+func TestParallelFlushEquivalence(t *testing.T) {
+	refLog, refMakespan, refSteps, refBytes := parallelScenario(1)
+	if len(refLog) == 0 {
+		t.Fatal("scenario produced no completions")
+	}
+	for _, par := range []int{2, 8} {
+		log, makespan, steps, bytes := parallelScenario(par)
+		if makespan != refMakespan || steps != refSteps || bytes != refBytes {
+			t.Errorf("par=%d: (makespan %v, steps %d, bytes %v) != sequential (%v, %d, %v)",
+				par, makespan, steps, bytes, refMakespan, refSteps, refBytes)
+		}
+		if len(log) != len(refLog) {
+			t.Fatalf("par=%d: %d events vs %d sequential", par, len(log), len(refLog))
+		}
+		for i := range log {
+			if log[i] != refLog[i] {
+				t.Errorf("par=%d: event %d diverged:\n  got  %s\n  want %s", par, i, log[i], refLog[i])
+			}
+		}
+	}
+}
+
+// TestStageOps pins the staged event buffer's semantics directly: At
+// delivers its Timer through out, Stop cancels, RescheduleOrAt keeps a live
+// timer's seq (preserving same-instant rank) and falls back to a fresh
+// insert when the timer is dead.
+func TestStageOps(t *testing.T) {
+	eng := NewEngine()
+	var fired []string
+	mark := func(s string) func() { return func() { fired = append(fired, s) } }
+
+	// Claim seq order: a before b.
+	a := eng.At(100, mark("a"))
+	eng.At(100, mark("b"))
+
+	var st Stage
+	var tm Timer
+	st.At(50, mark("new"), &tm)
+	// Reschedule a to 100 (same instant as b): keeping its earlier seq, it
+	// must still fire before b.
+	st.RescheduleOrAt(a, 100, mark("a2"), nil)
+	eng.applyStage(&st)
+	if tm.e == nil {
+		t.Fatal("staged At did not deliver its Timer")
+	}
+	if len(st.ops) != 0 {
+		t.Fatalf("applyStage left %d ops", len(st.ops))
+	}
+
+	// Stop the staged-in event through its delivered Timer, via a stage.
+	st.Stop(tm)
+	eng.applyStage(&st)
+
+	// Dead-timer fallback: stop c, then RescheduleOrAt must insert fresh.
+	c := eng.At(200, mark("c"))
+	c.Stop()
+	var repl Timer
+	st.RescheduleOrAt(c, 150, mark("c-replacement"), &repl)
+	eng.applyStage(&st)
+	if repl.e == nil {
+		t.Fatal("RescheduleOrAt fallback did not deliver its Timer")
+	}
+
+	eng.Run()
+	want := []string{"a", "b", "c-replacement"}
+	if fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Errorf("fired %v, want %v", fired, want)
+	}
+}
+
+// TestSetParallelismLifecycle exercises pool transitions — grow, shrink,
+// retire, regrow, with runs between — and checks the workers actually
+// retire (no goroutine leak) after SetParallelism(1).
+func TestSetParallelismLifecycle(t *testing.T) {
+	before := runtime.NumGoroutine()
+	eng := NewEngine()
+	for _, par := range []int{4, 1, 2, 8, 1} {
+		eng.SetParallelism(par)
+		if got := eng.Parallelism(); got != par {
+			t.Fatalf("Parallelism() = %d, want %d", got, par)
+		}
+		n1, n2 := NewNet(eng), NewNet(eng)
+		r1 := n1.NewResource("a", 5)
+		r2 := n2.NewResource("b", 5)
+		n1.StartFlow(100, []*Resource{r1}, nil)
+		n2.StartFlow(100, []*Resource{r2}, nil)
+		eng.Run()
+		eng.Reset() // keeps the pool and the registered flushers
+	}
+	// Workers exit asynchronously after the close; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after retire", before, after)
+	}
+}
+
+// TestResetKeepsParallelism pins the pooled-engine contract: Reset clears
+// component dirty bits and staged ops but keeps the worker pool, exactly as
+// it keeps registered flushers — a recycled engine/machine pair retains its
+// parallelism across runs.
+func TestResetKeepsParallelism(t *testing.T) {
+	eng := NewEngine()
+	eng.SetParallelism(4)
+	defer eng.SetParallelism(1)
+	n := NewNet(eng)
+	r := n.NewResource("mc", 5)
+	n.StartFlow(50, []*Resource{r}, nil)
+	eng.Run()
+	eng.Reset()
+	if got := eng.Parallelism(); got != 4 {
+		t.Errorf("Reset dropped parallelism: %d, want 4", got)
+	}
+	// The recycled engine must still run correctly, including the pool.
+	n2 := NewNet(eng)
+	r2 := n2.NewResource("mc2", 5)
+	done := 0
+	n.StartFlow(100, []*Resource{r}, func() { done++ })
+	n2.StartFlow(100, []*Resource{r2}, func() { done++ })
+	eng.Run()
+	if done != 2 {
+		t.Errorf("post-Reset run completed %d flows, want 2", done)
+	}
+}
