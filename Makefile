@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race test-race-fleet test-allocs test-traced test-golden-par bench bench-sim bench-json bench-check fuzz-smoke vet fmt-check ci clean
+.PHONY: build test test-short test-race test-race-fleet test-allocs test-traced test-golden-par test-sharded bench bench-sim bench-json bench-check fuzz-smoke vet fmt-check ci clean
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,15 @@ test-allocs:
 test-traced:
 	NUMADAG_TRACED_GOLDEN=1 $(GO) test -run 'TestDeterminismGoldenTraced' -count=1 .
 
+# Sharded-sweep equivalence gate: builds the real cmd/sweep binary and
+# drives its distribution modes end to end — 3-shard fan-out + -merge,
+# -maxcells interrupt + -resume, and -serve/-join over HTTP — demanding
+# JSONL/CSV/table outputs byte-identical to an unsharded run. Env-gated
+# because it builds a binary and runs the grid several times; CI runs it as
+# its own blocking step (`sharded sweeps` in ci.yml).
+test-sharded:
+	NUMADAG_SHARDED=1 $(GO) test -run 'TestShardedSweepCLI' -count=1 .
+
 # Parallel-flush determinism gate: the full golden sweep with the engine's
 # worker pool on (NUMADAG_PAR=8) must reproduce the sequentially-recorded
 # goldens byte for byte — the parallel flush determinism contract (package
@@ -70,7 +79,7 @@ fmt-check:
 # Mirrors the blocking steps of .github/workflows/ci.yml (the race and
 # golden-par jobs run in parallel there; fuzz-smoke is non-blocking and
 # nightly.yml tracks the benchmark trajectory).
-ci: fmt-check build vet test test-race test-race-fleet test-allocs test-traced test-golden-par
+ci: fmt-check build vet test test-race test-race-fleet test-allocs test-traced test-sharded test-golden-par
 
 # Full benchmark families (paper figures + ablations).
 bench:

@@ -19,9 +19,8 @@ import (
 	"fmt"
 	"os"
 
-	"numadag/internal/apps"
+	"numadag/internal/cliutil"
 	"numadag/internal/core"
-	"numadag/internal/machine"
 	"numadag/internal/rt"
 	"numadag/internal/workload"
 )
@@ -31,8 +30,8 @@ func main() {
 		list     = flag.Bool("list", false, "list registered workloads and exit")
 		describe = flag.String("describe", "", "print one workload's documentation and exit")
 		spec     = flag.String("spec", "", "workload spec to generate, e.g. \"forkjoin?depth=6&fanout=3\"")
-		scale    = flag.String("scale", "small", "contextual problem scale: tiny, small, paper")
-		machName = flag.String("machine", "bullion", "machine topology the generator sees: bullion, 2socket, 4socket, uniform")
+		scale    = cliutil.ScaleFlag(flag.CommandLine, "small")
+		machF    = cliutil.MachineFlag(flag.CommandLine, "bullion")
 		jsonOut  = flag.String("json", "", "export the generated DAG as JSON to this file")
 		dotOut   = flag.String("dot", "", "export the generated DAG as Graphviz DOT to this file")
 		run      = flag.Bool("run", false, "run the workload end-to-end (schedule + audit) and print statistics")
@@ -60,11 +59,11 @@ func main() {
 		fatal(fmt.Errorf("need -spec, -list or -describe (see -h)"))
 	}
 
-	sc, err := apps.ParseScale(*scale)
+	sc, err := scale()
 	if err != nil {
 		fatal(err)
 	}
-	mach, err := machine.ByName(*machName)
+	mach, err := machF()
 	if err != nil {
 		fatal(err)
 	}
@@ -127,6 +126,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dagen:", err)
-	os.Exit(1)
+	cliutil.Fatal("dagen", err)
 }

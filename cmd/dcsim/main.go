@@ -41,41 +41,37 @@ import (
 	"strings"
 	"time"
 
-	"numadag/internal/apps"
+	"numadag/internal/cliutil"
 	"numadag/internal/cluster"
-	"numadag/internal/core"
-	"numadag/internal/machine"
 	"numadag/internal/rt"
 	"numadag/internal/sim"
-	"numadag/internal/trace"
 )
 
 func main() {
 	var (
 		machines = flag.Int("machines", 8, "fleet size")
-		machName = flag.String("machine", "2socket", "machine config (bullion, 2socket, 4socket, uniform)")
+		machF    = cliutil.MachineFlag(flag.CommandLine, "2socket")
 		policyF  = flag.String("policy", "LAS", "per-job scheduling policy spec")
 		dispF    = flag.String("dispatcher", "kchoices?d=2", "dispatcher spec (kchoices?d=K, idle)")
-		scaleF   = flag.String("scale", "tiny", "problem scale for workload specs")
+		scale    = cliutil.ScaleFlag(flag.CommandLine, "tiny")
 		jobs     = flag.Int("jobs", 500, "arrival stream length")
 		seed     = flag.Uint64("seed", 1, "base seed (tenants, dispatch, per-job runtimes)")
 		procs    = flag.Int("procs", 1, "simulation parallelism: engine flush workers and task-graph prebuild workers (never affects results)")
 		rate     = flag.Float64("rate", 7000, "total arrival rate for the default tenant mix, jobs/s")
 		tenantsF = flag.String("tenants", "", "tenant declarations: name:process:rate:spec|spec,...")
-		jsonlF   = flag.String("jsonl", "", "stream per-job results as JSON lines to this file")
-		csvF     = flag.String("csv", "", "stream per-job results as CSV to this file")
+		outputs  = cliutil.BindOutputs(flag.CommandLine, true)
 		audit    = flag.Bool("audit", false, "audit every job's schedule against TDG semantics")
-		traceF   = flag.String("trace", "", "write a Chrome trace of the whole run to this file (load in Perfetto)")
+		traceOut = cliutil.BindTrace(flag.CommandLine)
 		httpF    = flag.String("http", "", "serve the live monitor on this address (e.g. :8080): /status JSON, /trace snapshot")
 		lingerF  = flag.Duration("http-linger", 0, "with -http: keep serving the monitor this long after the run ends, so a scraper can read the final snapshot")
 	)
 	flag.Parse()
 
-	sc, err := apps.ParseScale(*scaleF)
+	sc, err := scale()
 	if err != nil {
 		fatal(err)
 	}
-	mc, err := machine.ByName(*machName)
+	mc, err := machF()
 	if err != nil {
 		fatal(err)
 	}
@@ -98,11 +94,9 @@ func main() {
 		Parallelism: *procs,
 		Audit:       *audit,
 	}
-	if *traceF != "" || *httpF != "" {
-		// The monitor's /trace endpoint serves the tracer's snapshot, so
-		// -http implies tracing even without a -trace output file.
-		cfg.Trace = trace.NewTracer()
-	}
+	// The monitor's /trace endpoint serves the tracer's snapshot, so -http
+	// implies tracing even without a -trace output file.
+	cfg.Trace = traceOut.Enable(*httpF != "")
 	if *httpF != "" {
 		mon := cluster.NewMonitor(cfg.Trace)
 		cfg.Monitor = mon
@@ -122,33 +116,18 @@ func main() {
 		}()
 	}
 
-	var sinks []core.Sink
-	for _, out := range []struct {
-		path string
-		mk   func(f *os.File) core.Sink
-	}{
-		{*jsonlF, func(f *os.File) core.Sink { return core.NewJSONLSink(f) }},
-		{*csvF, func(f *os.File) core.Sink { return core.NewCSVSink(f) }},
-	} {
-		if out.path == "" {
-			continue
-		}
-		f, err := os.Create(out.path)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		sinks = append(sinks, out.mk(f))
+	sinks, err := outputs.Sinks()
+	if err != nil {
+		fatal(err)
 	}
+	defer outputs.Close()
 
 	res, err := cluster.Run(cfg, sinks...)
 	if err != nil {
 		fatal(err)
 	}
-	if *traceF != "" {
-		if err := cfg.Trace.WriteFile(*traceF); err != nil {
-			fatal(err)
-		}
+	if err := traceOut.Write(); err != nil {
+		fatal(err)
 	}
 	if err := res.Stats.SummaryTable().Write(os.Stdout); err != nil {
 		fatal(err)
@@ -204,6 +183,5 @@ func parseTenants(spec string, totalRate float64) ([]cluster.Tenant, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dcsim:", err)
-	os.Exit(1)
+	cliutil.Fatal("dcsim", err)
 }

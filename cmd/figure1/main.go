@@ -7,6 +7,11 @@
 // sweeps pay generator cost once. -apps accepts workload registry specs, so
 // the figure can be regenerated over synthetic or imported DAGs too.
 //
+// The figure grid shards, checkpoints and resumes exactly like cmd/sweep:
+// -shard i/n runs a slice into a journal under -out, -resume continues an
+// interrupted run, -merge recombines shard journals into the (byte
+// identical) figure, -serve/-join distribute the shards over HTTP.
+//
 // Usage:
 //
 //	figure1                      # paper scale, 3 seeds (a few minutes)
@@ -15,33 +20,36 @@
 //	figure1 -jsonl cells.jsonl   # stream per-cell results while running
 //	figure1 -trace cells.json    # Chrome trace of every grid cell (Perfetto)
 //	figure1 -apps "jacobi,forkjoin?depth=8&fanout=3" -scale small
+//	figure1 -shard 0/2 -out run/ # half the grid, merge with -merge run/
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"numadag/internal/apps"
+	"numadag/internal/cliutil"
 	"numadag/internal/core"
-	"numadag/internal/trace"
+	"numadag/internal/shard"
 )
 
 func main() {
 	var (
-		scale    = flag.String("scale", "paper", "problem scale: tiny, small, paper")
-		seeds    = flag.Int("seeds", 3, "seeds averaged per cell")
+		scale    = cliutil.ScaleFlag(flag.CommandLine, "paper")
+		seeds    = cliutil.SeedsFlag(flag.CommandLine, 3)
 		bars     = flag.Bool("bars", false, "render ASCII bars instead of a table")
 		csvF     = flag.String("csv", "", "also write the table as CSV to this file")
-		jsonlF   = flag.String("jsonl", "", "stream per-cell results as JSON lines to this file")
+		outputs  = cliutil.BindOutputs(flag.CommandLine, false)
 		wsize    = flag.Int("window", 0, "override window size (0 = default 2048)")
-		appsFlag = flag.String("apps", "", "comma-separated workload specs (default: the eight paper benchmarks)")
-		traceF   = flag.String("trace", "", "write a Chrome trace of every grid cell to this file (load in Perfetto)")
+		appsF    = cliutil.AppsFlag(flag.CommandLine, "comma-separated workload specs (default: the eight paper benchmarks)")
+		traceOut = cliutil.BindTrace(flag.CommandLine)
+		shardSet = cliutil.BindShard(flag.CommandLine)
 	)
 	flag.Parse()
 
-	sc, err := apps.ParseScale(*scale)
+	sc, err := scale()
 	if err != nil {
 		fatal(err)
 	}
@@ -51,38 +59,52 @@ func main() {
 	if *wsize > 0 {
 		opt.Runtime.WindowSize = *wsize
 	}
-	if *appsFlag != "" {
-		opt.Apps = strings.Split(*appsFlag, ",")
+	if apps := appsF(); apps != nil {
+		opt.Apps = apps
 	}
-	var tr *trace.Tracer
-	if *traceF != "" {
-		tr = trace.NewTracer()
-		opt.Trace = tr
-	}
-	var extra []core.Sink
-	if *jsonlF != "" {
-		f, err := os.Create(*jsonlF)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		extra = append(extra, core.NewJSONLSink(f))
-	}
-	table, err := core.Figure1(opt, extra...)
+	traceOut.Enable(false)
+	opt.Trace = traceOut.Attacher()
+
+	mode, err := shardSet.Mode()
 	if err != nil {
 		fatal(err)
 	}
-	if tr != nil {
-		if err := tr.WriteFile(*traceF); err != nil {
+	e := core.Figure1Experiment(opt)
+	table := core.Figure1Table(opt)
+	var sinks []core.Sink
+	if mode.FullStream() {
+		sinks = append(sinks, table)
+		extra, err := outputs.Sinks()
+		if err != nil {
 			fatal(err)
 		}
+		sinks = append(sinks, extra...)
+	} else if outputs.Any() {
+		fmt.Fprintln(os.Stderr, "figure1: note: -jsonl applies to full-stream modes; shard journals land in -out (combine with -merge)")
+	}
+	err = cliutil.Drive(context.Background(), e, mode, shardSet, sinks...)
+	if cerr := outputs.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if errors.Is(err, shard.ErrInterrupted) {
+		fmt.Fprintf(os.Stderr, "figure1: interrupted after -maxcells=%d fresh cells; continue with -resume\n", shardSet.MaxCells)
+		return
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := traceOut.Write(); err != nil {
+		fatal(err)
+	}
+	if !mode.FullStream() {
+		return
 	}
 	if *csvF != "" {
 		f, err := os.Create(*csvF)
 		if err != nil {
 			fatal(err)
 		}
-		if err := table.WriteCSV(f); err != nil {
+		if err := table.Table().WriteCSV(f); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -90,11 +112,11 @@ func main() {
 		}
 	}
 	if *bars {
-		if err := table.WriteBars(os.Stdout, 48); err != nil {
+		if err := table.Table().WriteBars(os.Stdout, 48); err != nil {
 			fatal(err)
 		}
 	} else {
-		if err := table.Write(os.Stdout); err != nil {
+		if err := table.Table().Write(os.Stdout); err != nil {
 			fatal(err)
 		}
 	}
@@ -103,6 +125,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "figure1:", err)
-	os.Exit(1)
+	cliutil.Fatal("figure1", err)
 }

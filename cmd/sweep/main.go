@@ -10,7 +10,30 @@
 // through the audited core.Run path, aggregated by a TableSink. The
 // partitioner ablations are policy registry specs ("RGP+LAS?matching=random",
 // "RGP+LAS?refine=off") plus the "RGP-cyclic" policy this command registers
-// in variants.go; -jsonl streams every cell result as it completes.
+// in variants.go; -jsonl/-csv stream every cell result as it completes.
+//
+// Sweeps shard, checkpoint and resume. A shard runs a deterministic slice
+// of the grid into a journal file; merging the journals reproduces the
+// unsharded outputs byte for byte:
+//
+//	sweep -exp partitioner -shard 0/3 -out run/   # one shard per host/CPU
+//	sweep -exp partitioner -shard 1/3 -out run/ -resume   # re-run a crashed shard
+//	sweep -exp partitioner -merge run/ -jsonl cells.jsonl # combine, no simulation
+//
+// -resume (with or without -shard) skips cells already journaled under
+// -out and replays them, so an interrupted sweep continues where it
+// stopped; -maxcells N stops resumably after N fresh cells. For fleets
+// without a shared filesystem, one process coordinates and any number
+// join:
+//
+//	sweep -exp sockets -serve :9119 -shards 8 -out run/
+//	sweep -exp sockets -join http://coord:9119   # on each worker host
+//
+// Workers claim shards over HTTP, heartbeat while computing, and upload
+// wire streams; a worker that dies mid-shard loses its lease and the shard
+// is reassigned. Every mode of every command validates that journals,
+// shards and payloads come from the same grid (experiment name + a
+// fingerprint of the canonical cell enumeration).
 //
 // Usage:
 //
@@ -26,53 +49,68 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"numadag/internal/apps"
+	"numadag/internal/cliutil"
 	"numadag/internal/core"
 	"numadag/internal/machine"
 	"numadag/internal/rt"
+	"numadag/internal/shard"
 )
 
 func main() {
 	var (
 		exp      = flag.String("exp", "window", "experiment: window, partitioner, sockets, propagation")
-		scale    = flag.String("scale", "small", "problem scale")
-		appsFlag = flag.String("apps", "", "comma-separated workload specs (default depends on experiment)")
-		seeds    = flag.Int("seeds", 2, "seeds averaged per cell")
-		jsonlF   = flag.String("jsonl", "", "stream per-cell results as JSON lines to this file")
+		scale    = cliutil.ScaleFlag(flag.CommandLine, "small")
+		appsF    = cliutil.AppsFlag(flag.CommandLine, "comma-separated workload specs (default depends on experiment)")
+		seeds    = cliutil.SeedsFlag(flag.CommandLine, 2)
+		outputs  = cliutil.BindOutputs(flag.CommandLine, true)
+		shardSet = cliutil.BindShard(flag.CommandLine)
 	)
 	flag.Parse()
 
-	sc, err := apps.ParseScale(*scale)
+	sc, err := scale()
 	if err != nil {
 		fatal(err)
 	}
-	var appList []string
-	if *appsFlag != "" {
-		appList = strings.Split(*appsFlag, ",")
-	}
-	e, table, err := declare(*exp, sc, appList, *seeds)
+	e, table, err := declare(*exp, sc, appsF(), *seeds)
 	if err != nil {
 		fatal(err)
 	}
-	sinks := []core.Sink{table}
-	if *jsonlF != "" {
-		f, err := os.Create(*jsonlF)
+	mode, err := shardSet.Mode()
+	if err != nil {
+		fatal(err)
+	}
+	var sinks []core.Sink
+	if mode.FullStream() {
+		sinks = append(sinks, table)
+		extra, err := outputs.Sinks()
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		sinks = append(sinks, core.NewJSONLSink(f))
+		sinks = append(sinks, extra...)
+	} else if outputs.Any() {
+		fmt.Fprintln(os.Stderr, "sweep: note: -jsonl/-csv apply to full-stream modes; shard journals land in -out (combine with -merge)")
 	}
-	if err := e.Run(context.Background(), sinks...); err != nil {
+	err = cliutil.Drive(context.Background(), e, mode, shardSet, sinks...)
+	if cerr := outputs.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if errors.Is(err, shard.ErrInterrupted) {
+		fmt.Fprintf(os.Stderr, "sweep: interrupted after -maxcells=%d fresh cells; continue with -resume\n", shardSet.MaxCells)
+		return
+	}
+	if err != nil {
 		fatal(err)
 	}
-	if err := table.Table().Write(os.Stdout); err != nil {
-		fatal(err)
+	if mode.FullStream() {
+		if err := table.Table().Write(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 
@@ -214,6 +252,5 @@ func propagationSweep(sc apps.Scale, appList []string, seeds int) (*core.Experim
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
+	cliutil.Fatal("sweep", err)
 }

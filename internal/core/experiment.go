@@ -117,8 +117,20 @@ type Experiment struct {
 	// always rebuilt) or to bound memory on huge grids.
 	TDGCache int
 	// Progress, if set, is called after each in-order delivery with the
-	// number of delivered cells and the grid size.
+	// number of delivered cells and the grid size (the executed subset when
+	// Skip is set).
 	Progress func(done, total int, res CellResult)
+	// Skip, if set, is consulted once per cell (on the coordinating
+	// goroutine, in canonical order, before any cell runs): cells for which
+	// it returns true are neither executed nor emitted, but every cell —
+	// skipped or not — keeps its canonical Index, so the emitted stream is
+	// the canonical subsequence of the full grid. This is the hook behind
+	// sharded sweeps (shard.Spec restricts a run to its partition class)
+	// and resumable ones (shard.CheckpointSink skips journaled cells and
+	// replays their recorded results to downstream sinks, so those still
+	// see the full in-order stream). Skip does not affect Cells, which
+	// always enumerates the whole grid.
+	Skip func(Cell) bool
 }
 
 // plan is one fully-resolved cell: the public coordinates plus the machine
@@ -273,6 +285,18 @@ func (e *Experiment) run(ctx context.Context, sinks ...Sink) error {
 	if err != nil {
 		return err
 	}
+	if e.Skip != nil {
+		// Filter skipped cells out of the work list up front, keeping
+		// canonical Index values. Workloads below resolve for the kept
+		// subset only, so a shard never builds graphs it will not run.
+		kept := ps[:0]
+		for _, p := range ps {
+			if !e.Skip(p.cell) {
+				kept = append(kept, p)
+			}
+		}
+		ps = kept
+	}
 	// Resolve each distinct workload spec once up front: resolution may
 	// touch disk (file import) and the instances are shared by every cell
 	// and by the snapshot cache. A bad spec fails the whole grid here,
@@ -304,6 +328,7 @@ func (e *Experiment) run(ctx context.Context, sinks ...Sink) error {
 	defer cancel()
 
 	type outcome struct {
+		pos int // position in ps — the delivery key (Cell.Index has gaps under Skip)
 		res CellResult
 		err error
 	}
@@ -338,7 +363,7 @@ func (e *Experiment) run(ctx context.Context, sinks ...Sink) error {
 					results <- outcome{err: err}
 					return
 				}
-				results <- outcome{res: CellResult{Cell: ps[i].cell, Config: cfg, Stats: res.Stats}}
+				results <- outcome{pos: i, res: CellResult{Cell: ps[i].cell, Config: cfg, Stats: res.Stats}}
 			}
 		}()
 	}
@@ -368,7 +393,7 @@ func (e *Experiment) run(ctx context.Context, sinks ...Sink) error {
 		if firstErr != nil {
 			continue
 		}
-		pending[o.res.Cell.Index] = o.res
+		pending[o.pos] = o.res
 		for {
 			res, ok := pending[nextEmit]
 			if !ok {

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The capability interfaces are discovered by assertion; TableSink must
+// keep satisfying both.
+var (
+	_ CheckpointableSink = (*TableSink)(nil)
+	_ MergeableSink      = (*TableSink)(nil)
+)
+
+// TestJSONLSinkFlushesEveryLine pins the crash contract: each record
+// reaches the underlying writer before Emit returns, even through a
+// buffered writer, so killing the process mid-stream loses at most the
+// record being written — never a buffered tail. (Checkpoint journals are
+// built on this property.)
+func TestJSONLSinkFlushesEveryLine(t *testing.T) {
+	var out bytes.Buffer
+	bw := bufio.NewWriterSize(&out, 1<<20) // big enough to never self-flush
+	sink := NewJSONLSink(bw)
+	for i := 0; i < 3; i++ {
+		res := CellResult{Cell: Cell{Index: i, App: "a", Policy: "p"}}
+		res.Stats.Makespan = simDur(int64(100 * (i + 1)))
+		if err := sink.Emit(res); err != nil {
+			t.Fatal(err)
+		}
+		// Deliberately no Close: the process "dies" here.
+		if got := strings.Count(out.String(), "\n"); got != i+1 {
+			t.Fatalf("after emit %d: %d complete lines reached the writer, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestJSONLSinkSyncHook(t *testing.T) {
+	var out bytes.Buffer
+	sink := NewJSONLSink(&out)
+	syncs := 0
+	sink.Sync = func() error { syncs++; return nil }
+	for i := 0; i < 2; i++ {
+		if err := sink.Emit(CellResult{Cell: Cell{Index: i, App: "a"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if syncs != 2 {
+		t.Errorf("Sync called %d times for 2 records", syncs)
+	}
+}
+
+// checkpointOpts exercises baseline accumulators and the geomean row.
+func checkpointOpts() TableOptions {
+	return TableOptions{
+		Norm:     NormSpeedup,
+		Baseline: func(c Cell) bool { return c.Policy == "LAS" },
+		Geomean:  true,
+	}
+}
+
+// capabilityCells is a synthetic canonical stream with rows and columns
+// first appearing at different indices, so splitting it across shards
+// discovers them in different orders.
+func capabilityCells() []CellResult {
+	mk := func(idx int, app, pol string, mkspan int64) CellResult {
+		res := CellResult{Cell: Cell{Index: idx, App: app, Policy: pol}}
+		res.Stats.Makespan = simDur(mkspan)
+		return res
+	}
+	return []CellResult{
+		mk(0, "app1", "LAS", 100),
+		mk(1, "app1", "DFIFO", 50),
+		mk(2, "app2", "LAS", 300),
+		mk(3, "app2", "EP", 100),
+		mk(4, "app1", "EP", 200),
+		mk(5, "app2", "DFIFO", 150),
+		mk(6, "app3", "LAS", 80),
+		mk(7, "app3", "DFIFO", 40),
+		mk(8, "app3", "EP", 20),
+	}
+}
+
+func renderTable(t *testing.T, s *TableSink) []byte {
+	t.Helper()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Table().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTableSinkCheckpointRestore pins CheckpointState/RestoreState: a sink
+// restored mid-stream and fed the rest renders identically to one that saw
+// everything.
+func TestTableSinkCheckpointRestore(t *testing.T) {
+	cells := capabilityCells()
+	whole := NewTableSink(checkpointOpts())
+	first := NewTableSink(checkpointOpts())
+	for _, res := range cells {
+		if err := whole.Emit(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, res := range cells[:4] {
+		if err := first.Emit(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state, err := first.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := NewTableSink(checkpointOpts())
+	if err := second.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range cells[4:] {
+		if err := second.Emit(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := renderTable(t, whole)
+	got := renderTable(t, second)
+	if !bytes.Equal(got, want) {
+		t.Errorf("restored sink drifted:\n%s---\n%s", got, want)
+	}
+
+	// Restore guards: non-empty sink, bad version.
+	dirty := NewTableSink(checkpointOpts())
+	if err := dirty.Emit(cells[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := dirty.RestoreState(state); err == nil {
+		t.Error("RestoreState on a non-empty sink accepted")
+	}
+	if err := NewTableSink(checkpointOpts()).RestoreState([]byte(`{"version":9}`)); err == nil {
+		t.Error("unknown checkpoint version accepted")
+	}
+}
+
+// TestTableSinkMergeMatchesSingleStream pins MergeSink: per-shard partials
+// recombine into exactly the table one sink over the full stream builds,
+// including row/column order recovered from first cell indices.
+func TestTableSinkMergeMatchesSingleStream(t *testing.T) {
+	cells := capabilityCells()
+	whole := NewTableSink(checkpointOpts())
+	a := NewTableSink(checkpointOpts())
+	b := NewTableSink(checkpointOpts())
+	for _, res := range cells {
+		if err := whole.Emit(res); err != nil {
+			t.Fatal(err)
+		}
+		dst := a
+		if res.Cell.Index%2 == 1 {
+			dst = b
+		}
+		if err := dst.Emit(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.MergeSink(b); err != nil {
+		t.Fatal(err)
+	}
+	want := renderTable(t, whole)
+	got := renderTable(t, a)
+	if !bytes.Equal(got, want) {
+		t.Errorf("merged partials drifted from single stream:\n%s---\n%s", got, want)
+	}
+}
+
+func TestTableSinkMergeRejectsMismatch(t *testing.T) {
+	a := NewTableSink(checkpointOpts())
+	if err := a.MergeSink(SinkFunc(func(CellResult) error { return nil })); err == nil {
+		t.Error("merging a non-TableSink accepted")
+	}
+	other := NewTableSink(TableOptions{Norm: NormRaw})
+	if err := a.MergeSink(other); err == nil {
+		t.Error("merging mismatched options accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 )
@@ -211,6 +212,74 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 	}
 	return h.max
+}
+
+// histogramMagic versions the Histogram binary encoding; bump it on any
+// layout change (readers reject unknown versions rather than guessing).
+const histogramMagic = "ndqh1\n"
+
+// MarshalBinary implements encoding.BinaryMarshaler: a deterministic,
+// bit-exact snapshot of the sketch (float fields are stored as IEEE-754
+// bits, so ±Inf sentinels of an empty histogram survive; bucket counts are
+// integers). Together with Merge this lets per-shard sketches be
+// checkpointed, shipped and recombined into exactly the histogram one
+// stream would have produced.
+func (h *Histogram) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, len(histogramMagic)+7*8+len(h.counts)*8)
+	buf = append(buf, histogramMagic...)
+	for _, u := range []uint64{
+		math.Float64bits(h.eps),
+		uint64(int64(h.base)),
+		h.zero,
+		h.count,
+		math.Float64bits(h.sum),
+		math.Float64bits(h.min),
+		math.Float64bits(h.max),
+		uint64(len(h.counts)),
+	} {
+		buf = binary.LittleEndian.AppendUint64(buf, u)
+	}
+	for _, c := range h.counts {
+		buf = binary.LittleEndian.AppendUint64(buf, c)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, restoring a sketch
+// captured by MarshalBinary. The receiver's previous contents are replaced.
+func (h *Histogram) UnmarshalBinary(data []byte) error {
+	if len(data) < len(histogramMagic)+8*8 || string(data[:len(histogramMagic)]) != histogramMagic {
+		return fmt.Errorf("metrics: not a histogram snapshot (or unknown version)")
+	}
+	data = data[len(histogramMagic):]
+	word := func(i int) uint64 { return binary.LittleEndian.Uint64(data[8*i:]) }
+	eps := math.Float64frombits(word(0))
+	if eps <= 0 || eps >= 1 {
+		return fmt.Errorf("metrics: histogram snapshot eps %v out of (0, 1)", eps)
+	}
+	n := int(word(7))
+	if len(data) != 8*8+8*n {
+		return fmt.Errorf("metrics: histogram snapshot truncated: %d buckets, %d bytes", n, len(data))
+	}
+	gamma := (1 + eps) / (1 - eps)
+	*h = Histogram{
+		gamma:    gamma,
+		logGamma: math.Log(gamma),
+		eps:      eps,
+		base:     int(int64(word(1))),
+		zero:     word(2),
+		count:    word(3),
+		sum:      math.Float64frombits(word(4)),
+		min:      math.Float64frombits(word(5)),
+		max:      math.Float64frombits(word(6)),
+	}
+	if n > 0 {
+		h.counts = make([]uint64, n)
+		for i := range h.counts {
+			h.counts[i] = word(8 + i)
+		}
+	}
+	return nil
 }
 
 // Buckets returns the number of non-empty geometric buckets (test and

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestHistogramBinaryRoundTrip pins the checkpoint encoding: marshal then
+// unmarshal reproduces the histogram exactly (count, sum, min/max bits,
+// every bucket), and re-marshaling reproduces the bytes.
+func TestHistogramBinaryRoundTrip(t *testing.T) {
+	h := NewHistogram(0.01)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		h.Add(rng.ExpFloat64() * 1e6)
+	}
+	h.Add(0) // exercise the zero bucket
+
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Histogram
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != h.Count() || got.Sum() != h.Sum() ||
+		got.Min() != h.Min() || got.Max() != h.Max() ||
+		got.RelativeError() != h.RelativeError() {
+		t.Fatalf("summary drifted: %d/%v/%v/%v vs %d/%v/%v/%v",
+			got.Count(), got.Sum(), got.Min(), got.Max(),
+			h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got.Quantile(q) != h.Quantile(q) {
+			t.Errorf("q%.2f drifted: %v vs %v", q, got.Quantile(q), h.Quantile(q))
+		}
+	}
+	data2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("re-marshal drifted")
+	}
+}
+
+// TestHistogramBinaryEmpty pins the awkward empty case: min is +Inf and
+// max is -Inf, which JSON could not carry — the binary format must.
+func TestHistogramBinaryEmpty(t *testing.T) {
+	h := NewHistogram(0.01)
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Histogram
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 0 {
+		t.Fatalf("empty round trip has count %d", got.Count())
+	}
+	// A restored empty histogram must keep absorbing values and merging.
+	got.Add(3)
+	if got.Min() != 3 || got.Max() != 3 {
+		t.Errorf("restored histogram min/max broken: %v/%v", got.Min(), got.Max())
+	}
+}
+
+// TestHistogramBinaryMerge pins the sharded-aggregation path: restore two
+// partial histograms and merge them; totals must match one histogram that
+// saw everything.
+func TestHistogramBinaryMerge(t *testing.T) {
+	whole := NewHistogram(0.01)
+	a := NewHistogram(0.01)
+	b := NewHistogram(0.01)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		v := rng.Float64() * 1e3
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	ab, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ra, rb Histogram
+	if err := ra.UnmarshalBinary(ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.UnmarshalBinary(bb); err != nil {
+		t.Fatal(err)
+	}
+	ra.Merge(&rb)
+	// Count, min, max and the bucket counts (hence quantiles) are exact;
+	// Sum is a float accumulated in a different order, so it is only
+	// near-identical — which is exactly why byte-identical sharded outputs
+	// go through record re-streaming (shard.Merge), not state merging.
+	if ra.Count() != whole.Count() || ra.Min() != whole.Min() || ra.Max() != whole.Max() {
+		t.Fatal("merged restored partials drifted from the whole")
+	}
+	if d := math.Abs(ra.Sum() - whole.Sum()); d > 1e-6*math.Abs(whole.Sum()) {
+		t.Fatalf("merged sum drifted beyond rounding: %v vs %v", ra.Sum(), whole.Sum())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.95} {
+		if ra.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q%.2f drifted after merge: %v vs %v", q, ra.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// Bad input is rejected, not misread.
+	if err := ra.UnmarshalBinary([]byte("bogus")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,372 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// Claim is the coordinator's answer to a worker's claim request.
+type Claim struct {
+	// Shard is the assigned shard, valid when Assigned.
+	Shard Spec `json:"shard"`
+	// Assigned is false when no shard is currently claimable.
+	Assigned bool `json:"assigned"`
+	// Done is true when every shard has completed — workers exit.
+	Done bool `json:"done"`
+	// LeaseMS is how often (at most) the worker must heartbeat to keep the
+	// claim.
+	LeaseMS int64 `json:"lease_ms"`
+}
+
+// Status summarizes coordinator progress (GET /status).
+type Status struct {
+	Count     int `json:"count"`
+	Unclaimed int `json:"unclaimed"`
+	Claimed   int `json:"claimed"`
+	Completed int `json:"completed"`
+}
+
+const (
+	stateUnclaimed = iota
+	stateClaimed
+	stateDone
+)
+
+// Coordinator hands the shards of one grid to joining workers over a
+// trivial HTTP work-claim protocol — the committee-of-workers shape,
+// minus the consensus, which determinism makes unnecessary: any worker
+// computing a shard produces identical bytes, so worker loss is handled by
+// leases alone. A claim expires unless the worker heartbeats within the
+// lease; expired shards go back in the pool and the next /claim gets them.
+// Completed shard payloads (wire streams) accumulate in memory until
+// WriteDir lands them as merge-ready journal files.
+//
+// Endpoints (all but /status are POST):
+//
+//	/claim             -> Claim JSON
+//	/heartbeat?shard=i -> 204, or 409 when the lease was lost
+//	/complete?shard=i  -> body is the shard's wire stream; Claim JSON
+//	                      (Done reports whether the upload finished the grid)
+//	/status            -> Status JSON
+type Coordinator struct {
+	count int
+	lease time.Duration
+	now   func() time.Time // injectable clock for lease tests
+
+	mu       sync.Mutex
+	expect   *Header
+	state    []int
+	expires  []time.Time
+	payloads [][]byte
+	left     int
+	done     chan struct{}
+}
+
+// Expect makes the coordinator validate every completed payload's header
+// against h: same experiment name, total and grid fingerprint, with the
+// shard index/count matching the completed shard. Call it before serving.
+func (c *Coordinator) Expect(h Header) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expect = &h
+}
+
+// NewCoordinator creates a coordinator for count shards with the given
+// heartbeat lease (0 means 30s).
+func NewCoordinator(count int, lease time.Duration) (*Coordinator, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("shard: coordinator needs >= 1 shards, got %d", count)
+	}
+	if lease <= 0 {
+		lease = 30 * time.Second
+	}
+	return &Coordinator{
+		count:    count,
+		lease:    lease,
+		now:      time.Now,
+		state:    make([]int, count),
+		expires:  make([]time.Time, count),
+		payloads: make([][]byte, count),
+		left:     count,
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Done is closed when every shard has completed.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Status returns a snapshot of shard progress.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{Count: c.count}
+	now := c.now()
+	for i, s := range c.state {
+		switch {
+		case s == stateDone:
+			st.Completed++
+		case s == stateClaimed && c.expires[i].After(now):
+			st.Claimed++
+		default:
+			st.Unclaimed++
+		}
+	}
+	return st
+}
+
+// Payload returns completed shard i's wire stream (nil until complete).
+func (c *Coordinator) Payload(i int) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.payloads[i]
+}
+
+// WriteDir writes every completed shard's stream as its journal file under
+// dir (creating it), ready for MergeDir.
+func (c *Coordinator) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, p := range c.payloads {
+		if p == nil {
+			return fmt.Errorf("shard: shard %d/%d not complete", i, c.count)
+		}
+		if err := os.WriteFile(JournalPath(dir, Spec{i, c.count}), p, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) claim() Claim {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left == 0 {
+		return Claim{Done: true}
+	}
+	now := c.now()
+	for i, s := range c.state {
+		if s == stateUnclaimed || (s == stateClaimed && !c.expires[i].After(now)) {
+			c.state[i] = stateClaimed
+			c.expires[i] = now.Add(c.lease)
+			return Claim{Shard: Spec{Index: i, Count: c.count}, Assigned: true, LeaseMS: c.lease.Milliseconds()}
+		}
+	}
+	return Claim{} // everything claimed and live; poll again
+}
+
+func (c *Coordinator) heartbeat(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= c.count {
+		return fmt.Errorf("shard %d out of range", i)
+	}
+	if c.state[i] != stateClaimed || !c.expires[i].After(c.now()) {
+		return fmt.Errorf("lease on shard %d lost", i)
+	}
+	c.expires[i] = c.now().Add(c.lease)
+	return nil
+}
+
+func (c *Coordinator) complete(i int, payload []byte) error {
+	st, err := ReadStream(payload)
+	if err != nil {
+		return fmt.Errorf("shard %d payload: %w", i, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= c.count {
+		return fmt.Errorf("shard %d out of range", i)
+	}
+	if w := c.expect; w != nil {
+		got := st.Header
+		if got.Experiment != w.Experiment || got.Total != w.Total || got.Grid != w.Grid ||
+			got.ShardIndex != i || got.ShardCount != c.count {
+			return fmt.Errorf("shard %d payload is for a different grid (%s shard %d/%d grid %s; coordinating %s shards of %d grid %s)",
+				i, got.Experiment, got.ShardIndex, got.ShardCount, got.Grid, w.Experiment, c.count, w.Grid)
+		}
+	}
+	if c.state[i] == stateDone {
+		// A zombie worker finishing a reassigned shard: the bytes are
+		// identical by determinism, keep the first copy.
+		return nil
+	}
+	c.state[i] = stateDone
+	c.payloads[i] = payload
+	c.left--
+	if c.left == 0 {
+		close(c.done)
+	}
+	return nil
+}
+
+// Handler returns the coordinator's HTTP endpoints.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	shardArg := func(r *http.Request) (int, error) {
+		var i int
+		if _, err := fmt.Sscanf(r.URL.Query().Get("shard"), "%d", &i); err != nil {
+			return 0, fmt.Errorf("bad shard parameter %q", r.URL.Query().Get("shard"))
+		}
+		return i, nil
+	}
+	mux.HandleFunc("POST /claim", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(c.claim())
+	})
+	mux.HandleFunc("POST /heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		i, err := shardArg(r)
+		if err == nil {
+			err = c.heartbeat(i)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /complete", func(w http.ResponseWriter, r *http.Request) {
+		i, err := shardArg(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		payload, err := io.ReadAll(r.Body)
+		if err == nil {
+			err = c.complete(i, payload)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Tell the completing worker whether its upload finished the grid,
+		// so the worker that lands the last shard exits without racing a
+		// follow-up /claim against coordinator shutdown.
+		select {
+		case <-c.done:
+			json.NewEncoder(w).Encode(Claim{Done: true})
+		default:
+			json.NewEncoder(w).Encode(Claim{})
+		}
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(c.Status())
+	})
+	return mux
+}
+
+// Work joins a coordinator as a worker: it claims shards until the
+// coordinator reports the grid done, heartbeating each claim while run
+// computes the shard's wire stream. run must emit the complete stream
+// (header + records) for exactly the given shard; Work uploads it. A lost
+// heartbeat (coordinator restarted, lease expired under a stall) abandons
+// the current shard — someone else will recompute it — and claims on. A
+// coordinator that becomes unreachable after this worker has delivered at
+// least one shard is treated as done, not an error: the coordinator exits
+// as soon as the last upload lands, so a refused follow-up claim is the
+// normal end of a run, and our delivered bytes are identical to any
+// recomputation by determinism.
+func Work(ctx context.Context, baseURL string, run func(sp Spec) ([]byte, error)) error {
+	client := &http.Client{}
+	post := func(path string, body io.Reader) (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+path, body)
+		if err != nil {
+			return nil, err
+		}
+		return client.Do(req)
+	}
+	delivered := 0
+	for {
+		resp, err := post("/claim", nil)
+		if err != nil {
+			if delivered > 0 {
+				return nil // coordinator gone after our uploads: grid finished
+			}
+			return fmt.Errorf("shard: claim: %w", err)
+		}
+		var cl Claim
+		err = json.NewDecoder(resp.Body).Decode(&cl)
+		resp.Body.Close()
+		if err != nil {
+			if delivered > 0 {
+				return nil
+			}
+			return fmt.Errorf("shard: claim: %w", err)
+		}
+		switch {
+		case cl.Done:
+			return nil
+		case !cl.Assigned:
+			// Every shard is claimed and live; poll for reassignments until
+			// the coordinator reports done.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(500 * time.Millisecond):
+			}
+			continue
+		}
+
+		// Heartbeat in the background while the shard runs.
+		hbCtx, stopHB := context.WithCancel(ctx)
+		lost := make(chan struct{})
+		go func() {
+			interval := time.Duration(cl.LeaseMS) * time.Millisecond / 3
+			if interval <= 0 {
+				interval = time.Second
+			}
+			for {
+				select {
+				case <-hbCtx.Done():
+					return
+				case <-time.After(interval):
+				}
+				resp, err := post(fmt.Sprintf("/heartbeat?shard=%d", cl.Shard.Index), nil)
+				if err != nil {
+					continue // transient; the lease has slack for retries
+				}
+				code := resp.StatusCode
+				resp.Body.Close()
+				if code == http.StatusConflict {
+					close(lost)
+					return
+				}
+			}
+		}()
+		payload, err := run(cl.Shard)
+		stopHB()
+		if err != nil {
+			return fmt.Errorf("shard: run %s: %w", cl.Shard, err)
+		}
+		select {
+		case <-lost:
+			continue // lease gone; the shard was reassigned, don't upload
+		default:
+		}
+		resp, err = post(fmt.Sprintf("/complete?shard=%d", cl.Shard.Index), bytes.NewReader(payload))
+		if err != nil {
+			return fmt.Errorf("shard: complete %s: %w", cl.Shard, err)
+		}
+		var ack Claim
+		ackErr := json.NewDecoder(resp.Body).Decode(&ack)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("shard: complete %s: HTTP %d", cl.Shard, resp.StatusCode)
+		}
+		if ackErr != nil {
+			return fmt.Errorf("shard: complete %s: %w", cl.Shard, ackErr)
+		}
+		delivered++
+		if ack.Done {
+			return nil // our upload finished the grid
+		}
+	}
+}

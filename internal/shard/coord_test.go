@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"numadag/internal/core"
+)
+
+// fakeStream builds a minimal valid wire stream for shard sp of a count-cell
+// grid named exp.
+func fakeStream(t *testing.T, exp string, total int, sp Spec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{Experiment: exp, Total: total, Grid: "feedfacefeedface", ShardIndex: sp.Index, ShardCount: sp.Count})
+	for idx := 0; idx < total; idx++ {
+		if !sp.Owns(idx) {
+			continue
+		}
+		res := core.CellResult{Cell: core.Cell{Index: idx, App: "a", Policy: "p", Machine: "m"}}
+		if err := w.Emit(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCoordinatorLeaseReassignment pins worker-loss handling: a claimed
+// shard whose worker stops heartbeating is reassigned after the lease
+// expires, and the dead worker's late heartbeat is rejected.
+func TestCoordinatorLeaseReassignment(t *testing.T) {
+	c, err := NewCoordinator(2, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Injectable clock: no sleeping in this test.
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	cl0 := c.claim()
+	cl1 := c.claim()
+	if !cl0.Assigned || !cl1.Assigned || cl0.Shard.Index == cl1.Shard.Index {
+		t.Fatalf("first two claims: %+v, %+v", cl0, cl1)
+	}
+	if cl := c.claim(); cl.Assigned || cl.Done {
+		t.Fatalf("third claim while both live: %+v", cl)
+	}
+	if err := c.heartbeat(cl0.Shard.Index); err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker 1 goes silent past its lease; its shard is claimable again.
+	now = now.Add(11 * time.Second)
+	recl := c.claim()
+	if !recl.Assigned {
+		t.Fatal("expired shard not reassigned")
+	}
+	if err := c.heartbeat(recl.Shard.Index); err != nil {
+		t.Fatal("new claimant's heartbeat rejected:", err)
+	}
+
+	// Both shards expired at +11s, so recl may be either; the other one is
+	// also reclaimable and the original holder's heartbeat now fails.
+	other := c.claim()
+	if !other.Assigned || other.Shard.Index == recl.Shard.Index {
+		t.Fatalf("second expired shard not reassigned: %+v", other)
+	}
+
+	// Completion: a zombie worker double-completing is idempotent.
+	p0 := fakeStream(t, "x", 4, Spec{0, 2})
+	p1 := fakeStream(t, "x", 4, Spec{1, 2})
+	if err := c.complete(0, p0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.complete(0, p0); err != nil {
+		t.Fatal("idempotent complete rejected:", err)
+	}
+	if err := c.heartbeat(0); err == nil {
+		t.Error("heartbeat on a completed shard accepted")
+	}
+	select {
+	case <-c.Done():
+		t.Fatal("done with a shard outstanding")
+	default:
+	}
+	if err := c.complete(1, p1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("all shards complete but Done not closed")
+	}
+	if cl := c.claim(); !cl.Done {
+		t.Errorf("claim after completion: %+v, want Done", cl)
+	}
+}
+
+func TestCoordinatorRejectsForeignPayload(t *testing.T) {
+	c, err := NewCoordinator(2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Expect(Header{Experiment: "x", Total: 4, Grid: "feedfacefeedface"})
+	if err := c.complete(0, []byte("not a stream\n")); err == nil {
+		t.Error("garbage payload accepted")
+	}
+	if err := c.complete(0, fakeStream(t, "y", 4, Spec{0, 2})); err == nil {
+		t.Error("payload from another experiment accepted")
+	}
+	if err := c.complete(0, fakeStream(t, "x", 4, Spec{1, 2})); err == nil {
+		t.Error("payload for the wrong shard accepted")
+	}
+	if err := c.complete(0, fakeStream(t, "x", 4, Spec{0, 2})); err != nil {
+		t.Error("matching payload rejected:", err)
+	}
+}
+
+// TestWorkersDrainCoordinator runs the full HTTP protocol: two Work loops
+// against a live coordinator, then merges the collected payloads.
+func TestWorkersDrainCoordinator(t *testing.T) {
+	const shards, cells = 3, 7
+	c, err := NewCoordinator(shards, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Expect(Header{Experiment: "x", Total: cells, Grid: "feedfacefeedface"})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	errs := make(chan error, 2)
+	for w := 0; w < 2; w++ {
+		go func() {
+			errs <- Work(context.Background(), srv.URL, func(sp Spec) ([]byte, error) {
+				return fakeStream(t, "x", cells, sp), nil
+			})
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Status()
+	if st.Completed != shards {
+		t.Fatalf("status after drain: %+v", st)
+	}
+
+	dir := t.TempDir()
+	if err := c.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	var got []core.CellResult
+	collect := core.SinkFunc(func(res core.CellResult) error {
+		got = append(got, res)
+		return nil
+	})
+	if _, err := MergeDir(dir, collect); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != cells {
+		t.Fatalf("merged %d cells, want %d", len(got), cells)
+	}
+	for i, res := range got {
+		if res.Cell.Index != i {
+			t.Fatalf("merged cell %d has index %d", i, res.Cell.Index)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"numadag/internal/core"
+)
+
+// Writer is a core.Sink that streams wire-format records (header first) to
+// w — the in-memory/network counterpart of a Journal file, used by
+// coordinator workers to build a shard payload without touching disk.
+// Merge reads the same format from either source.
+type Writer struct {
+	w     io.Writer
+	wrote bool
+	h     Header
+}
+
+// NewWriter returns a wire-stream sink over w for the given header.
+func NewWriter(w io.Writer, h Header) *Writer { return &Writer{w: w, h: h} }
+
+// Emit implements core.Sink.
+func (sw *Writer) Emit(res core.CellResult) error {
+	if !sw.wrote {
+		sw.wrote = true
+		line, err := EncodeHeader(sw.h)
+		if err != nil {
+			return err
+		}
+		if _, err := sw.w.Write(line); err != nil {
+			return err
+		}
+	}
+	line, err := Encode(res)
+	if err != nil {
+		return err
+	}
+	_, err = sw.w.Write(line)
+	return err
+}
+
+// Close implements core.Sink; an empty stream still gets its header.
+func (sw *Writer) Close() error {
+	if sw.wrote {
+		return nil
+	}
+	sw.wrote = true
+	line, err := EncodeHeader(sw.h)
+	if err != nil {
+		return err
+	}
+	_, err = sw.w.Write(line)
+	return err
+}
+
+// Stream is one parsed journal/shard stream.
+type Stream struct {
+	Header  Header
+	Results []core.CellResult // sorted by canonical index
+}
+
+// ReadStream parses a wire stream (a Journal file's or Writer's bytes). A
+// torn final line — the crash artifact journals may carry — is ignored.
+func ReadStream(data []byte) (Stream, error) {
+	cut := bytes.LastIndexByte(data, '\n') + 1
+	lines := bytes.Split(data[:cut], []byte("\n"))
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		return Stream{}, fmt.Errorf("shard: empty stream")
+	}
+	h, err := DecodeHeader(lines[0])
+	if err != nil {
+		return Stream{}, err
+	}
+	st := Stream{Header: h}
+	for i, line := range lines[1:] {
+		res, err := Decode(line)
+		if err != nil {
+			return Stream{}, fmt.Errorf("record %d: %w", i+1, err)
+		}
+		st.Results = append(st.Results, res)
+	}
+	sort.Slice(st.Results, func(a, b int) bool {
+		return st.Results[a].Cell.Index < st.Results[b].Cell.Index
+	})
+	return st, nil
+}
+
+// ReadStreamFile reads and parses one journal/shard file.
+func ReadStreamFile(path string) (Stream, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Stream{}, err
+	}
+	st, err := ReadStream(data)
+	if err != nil {
+		return Stream{}, fmt.Errorf("shard: %s: %w", path, err)
+	}
+	return st, nil
+}
+
+// JournalPattern matches the shard journal files cmd/sweep writes into an
+// output directory; MergeDir globs it.
+const JournalPattern = "shard-*.cells.jsonl"
+
+// JournalPath names shard sp's journal file under dir.
+func JournalPath(dir string, sp Spec) string {
+	sp = sp.Norm()
+	return filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.cells.jsonl", sp.Index, sp.Count))
+}
+
+// Merge recombines shard streams into the canonical cell order and emits
+// the merged stream through the given sinks (closing them at the end,
+// exactly as Experiment.Run would). The streams must come from the same
+// grid (header experiment/total/grid fingerprint all equal) and together
+// cover every canonical index exactly once; gaps (an unfinished shard) and
+// duplicates are errors, not silently-wrong output. Because every sink
+// sees the same records in the same order as an unsharded run, the merged
+// output is byte-identical to one.
+func Merge(streams []Stream, sinks ...core.Sink) (Header, error) {
+	h, err := merge(streams, sinks...)
+	for _, s := range sinks {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return h, err
+}
+
+func merge(streams []Stream, sinks ...core.Sink) (Header, error) {
+	if len(streams) == 0 {
+		return Header{}, fmt.Errorf("shard: nothing to merge")
+	}
+	h := streams[0].Header
+	all := make([]core.CellResult, 0, h.Total)
+	for _, st := range streams {
+		if st.Header.Experiment != h.Experiment || st.Header.Total != h.Total || st.Header.Grid != h.Grid {
+			return Header{}, fmt.Errorf("shard: merging streams from different grids (%q total %d grid %s vs %q total %d grid %s)",
+				st.Header.Experiment, st.Header.Total, st.Header.Grid, h.Experiment, h.Total, h.Grid)
+		}
+		all = append(all, st.Results...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Cell.Index < all[b].Cell.Index })
+	var missing []string
+	next := 0
+	for _, res := range all {
+		if res.Cell.Index == next-1 {
+			return Header{}, fmt.Errorf("shard: cell %d appears in more than one stream", res.Cell.Index)
+		}
+		for next < res.Cell.Index {
+			missing = append(missing, fmt.Sprintf("%d", next))
+			next++
+		}
+		next = res.Cell.Index + 1
+	}
+	for ; next < h.Total; next++ {
+		missing = append(missing, fmt.Sprintf("%d", next))
+	}
+	if len(missing) > 0 {
+		if len(missing) > 8 {
+			missing = append(missing[:8], fmt.Sprintf("... %d total", len(missing)))
+		}
+		return Header{}, fmt.Errorf("shard: merge incomplete: %d of %d cells missing (indices %s) — did every shard finish?",
+			h.Total-len(all), h.Total, strings.Join(missing, ", "))
+	}
+	for _, res := range all {
+		for _, s := range sinks {
+			if err := s.Emit(res); err != nil {
+				return Header{}, fmt.Errorf("shard: merge sink: %w", err)
+			}
+		}
+	}
+	mh := h
+	mh.ShardIndex, mh.ShardCount = 0, 1
+	return mh, nil
+}
+
+// MergeDir merges every shard journal (JournalPattern) found in dir.
+func MergeDir(dir string, sinks ...core.Sink) (Header, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, JournalPattern))
+	if err != nil {
+		return Header{}, err
+	}
+	if len(paths) == 0 {
+		return Header{}, fmt.Errorf("shard: no %s files in %s", JournalPattern, dir)
+	}
+	sort.Strings(paths)
+	streams := make([]Stream, len(paths))
+	for i, p := range paths {
+		if streams[i], err = ReadStreamFile(p); err != nil {
+			return Header{}, err
+		}
+	}
+	return Merge(streams, sinks...)
+}

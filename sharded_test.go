@@ -1,0 +1,185 @@
+// Sharded-sweep equivalence suite: the cmd/sweep sharding/resume/merge
+// modes must reproduce an unsharded run byte for byte.
+//
+// TestShardedSweepCLI builds the real sweep binary and drives it through
+// the three distribution stories — 3-shard fan-out + merge, interrupt +
+// resume (-maxcells as the deterministic kill), and coordinator/worker over
+// HTTP (-serve/-join) — comparing every JSONL/CSV/table output against one
+// unsharded reference run. Env-gated (NUMADAG_SHARDED=1) because it builds
+// a binary and runs the grid several times; CI runs it as its own blocking
+// step (`make test-sharded`).
+package numadag_test
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sweepArgs is the fixed grid every invocation in this suite sweeps:
+// A1-window, one app, tiny scale, 2 seeds = 10 cells over 5 variants.
+var sweepArgs = []string{"-exp", "window", "-apps", "jacobi", "-scale", "tiny", "-seeds", "2"}
+
+func buildSweep(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sweep")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/sweep")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build sweep: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runSweep runs the binary with the suite's grid plus extra flags and
+// returns stdout (the rendered table in full-stream modes).
+func runSweep(t *testing.T, bin string, extra ...string) []byte {
+	t.Helper()
+	cmd := exec.Command(bin, append(append([]string{}, sweepArgs...), extra...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("sweep %v: %v\n%s", extra, err, stderr.Bytes())
+	}
+	return stdout.Bytes()
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestShardedSweepCLI(t *testing.T) {
+	if os.Getenv("NUMADAG_SHARDED") == "" {
+		t.Skip("set NUMADAG_SHARDED=1 (or run `make test-sharded`) to run the sharded CLI suite")
+	}
+	bin := buildSweep(t)
+	work := t.TempDir()
+	path := func(name string) string { return filepath.Join(work, name) }
+
+	// The unsharded reference outputs.
+	wantTable := runSweep(t, bin, "-jsonl", path("ref.jsonl"), "-csv", path("ref.csv"))
+	wantJSONL := readFile(t, path("ref.jsonl"))
+	wantCSV := readFile(t, path("ref.csv"))
+
+	t.Run("shard-merge", func(t *testing.T) {
+		dir := path("shards")
+		for i := 0; i < 3; i++ {
+			runSweep(t, bin, "-shard", fmt.Sprintf("%d/3", i), "-out", dir)
+		}
+		gotTable := runSweep(t, bin, "-merge", dir, "-jsonl", path("m.jsonl"), "-csv", path("m.csv"))
+		if !bytes.Equal(readFile(t, path("m.jsonl")), wantJSONL) {
+			t.Error("merged JSONL differs from unsharded run")
+		}
+		if !bytes.Equal(readFile(t, path("m.csv")), wantCSV) {
+			t.Error("merged CSV differs from unsharded run")
+		}
+		if !bytes.Equal(gotTable, wantTable) {
+			t.Errorf("merged table differs from unsharded run:\n%s---\n%s", gotTable, wantTable)
+		}
+	})
+
+	t.Run("interrupt-resume", func(t *testing.T) {
+		dir := path("ckpt")
+		// First run stops (resumably) after 4 of the 10 cells.
+		cmd := exec.Command(bin, append(append([]string{}, sweepArgs...),
+			"-out", dir, "-maxcells", "4")...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("interrupted run failed: %v\n%s", err, stderr.Bytes())
+		}
+		if !strings.Contains(stderr.String(), "4 cells run") {
+			t.Fatalf("interrupted run did not report its cell count:\n%s", stderr.Bytes())
+		}
+		// The resumed run executes only the remaining 6 and reproduces the
+		// reference outputs exactly.
+		cmd = exec.Command(bin, append(append([]string{}, sweepArgs...),
+			"-out", dir, "-resume", "-jsonl", path("r.jsonl"), "-csv", path("r.csv"))...)
+		var stdout bytes.Buffer
+		stderr.Reset()
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("resumed run failed: %v\n%s", err, stderr.Bytes())
+		}
+		if !strings.Contains(stderr.String(), "6 cells run, 4 resumed") {
+			t.Errorf("resume re-ran the wrong cells:\n%s", stderr.Bytes())
+		}
+		if !bytes.Equal(readFile(t, path("r.jsonl")), wantJSONL) {
+			t.Error("resumed JSONL differs from uninterrupted run")
+		}
+		if !bytes.Equal(readFile(t, path("r.csv")), wantCSV) {
+			t.Error("resumed CSV differs from uninterrupted run")
+		}
+		if !bytes.Equal(stdout.Bytes(), wantTable) {
+			t.Errorf("resumed table differs from uninterrupted run:\n%s---\n%s", stdout.Bytes(), wantTable)
+		}
+	})
+
+	t.Run("serve-join", func(t *testing.T) {
+		dir := path("fleet")
+		serve := exec.Command(bin, append(append([]string{}, sweepArgs...),
+			"-serve", "127.0.0.1:0", "-shards", "2", "-out", dir)...)
+		serveErr, err := serve.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := serve.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer serve.Process.Kill()
+
+		// The coordinator prints its bound address; workers join it.
+		var url string
+		sc := bufio.NewScanner(serveErr)
+		for sc.Scan() {
+			if _, rest, ok := strings.Cut(sc.Text(), "on http://"); ok {
+				url = "http://" + strings.Fields(rest)[0]
+				break
+			}
+		}
+		if url == "" {
+			t.Fatalf("coordinator never printed its address (scan error %v)", sc.Err())
+		}
+		go func() {
+			// Drain the rest of stderr so the coordinator never blocks on it.
+			for sc.Scan() {
+			}
+		}()
+
+		workers := make(chan error, 2)
+		for i := 0; i < 2; i++ {
+			go func() {
+				out, err := exec.Command(bin, append(append([]string{}, sweepArgs...),
+					"-join", url)...).CombinedOutput()
+				if err != nil {
+					err = fmt.Errorf("worker: %v\n%s", err, out)
+				}
+				workers <- err
+			}()
+		}
+		for i := 0; i < 2; i++ {
+			if err := <-workers; err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := serve.Wait(); err != nil {
+			t.Fatalf("coordinator exit: %v", err)
+		}
+		gotTable := runSweep(t, bin, "-merge", dir, "-jsonl", path("f.jsonl"))
+		if !bytes.Equal(readFile(t, path("f.jsonl")), wantJSONL) {
+			t.Error("fleet-merged JSONL differs from unsharded run")
+		}
+		if !bytes.Equal(gotTable, wantTable) {
+			t.Errorf("fleet-merged table differs from unsharded run:\n%s---\n%s", gotTable, wantTable)
+		}
+	})
+}
